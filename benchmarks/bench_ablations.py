@@ -1,0 +1,99 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* deliver batching — one epoch-batched deliver transaction vs one per request,
+* storage refunds — Ethereum's storage-clear refund, which the paper's cost
+  model ignores,
+* replica-slot reuse — the BtcRelay experiment's "reusable storage".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem
+from repro.chain.gas import GasSchedule
+from repro.workloads.synthetic import AlternatingPhaseWorkload, SyntheticWorkload
+
+from conftest import run_once
+
+
+def _run(config: GrubConfig, operations) -> float:
+    return GrubSystem(config).run(list(operations)).gas_per_operation
+
+
+def test_ablation_deliver_batching(benchmark, scale):
+    operations = SyntheticWorkload(
+        read_write_ratio=8, num_operations=scale.synthetic_operations, num_keys=4
+    ).operations()
+
+    def experiment():
+        batched = _run(GrubConfig(epoch_size=scale.epoch_size, batch_deliver=True), operations)
+        unbatched = _run(GrubConfig(epoch_size=scale.epoch_size, batch_deliver=False), operations)
+        return batched, unbatched
+
+    batched, unbatched = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["deliver mode", "Gas/op"],
+            [("epoch-batched", round(batched)), ("per-request", round(unbatched))],
+            title="Ablation — SP deliver batching",
+        )
+    )
+    assert batched < unbatched
+
+
+def test_ablation_storage_refunds(benchmark, scale):
+    operations = AlternatingPhaseWorkload(
+        phase_ratios=(8.0, 0.0, 8.0, 0.0),
+        operations_per_phase=scale.synthetic_operations // 4,
+        num_keys=4,
+    ).operations()
+
+    def experiment():
+        without = _run(GrubConfig(epoch_size=scale.epoch_size, algorithm="memoryless", k=2), operations)
+        with_refunds = _run(
+            GrubConfig(
+                epoch_size=scale.epoch_size,
+                algorithm="memoryless",
+                k=2,
+                gas_schedule=GasSchedule().with_refunds(),
+            ),
+            operations,
+        )
+        return without, with_refunds
+
+    without, with_refunds = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["schedule", "Gas/op"],
+            [("no refunds (paper model)", round(without)), ("with clear refunds", round(with_refunds))],
+            title="Ablation — storage-clear refunds",
+        )
+    )
+    assert with_refunds <= without
+
+
+def test_ablation_replica_slot_reuse(benchmark, scale):
+    operations = AlternatingPhaseWorkload(
+        phase_ratios=(8.0, 0.0, 8.0, 0.0),
+        operations_per_phase=scale.synthetic_operations // 4,
+        num_keys=6,
+    ).operations()
+
+    def experiment():
+        fresh_slots = _run(GrubConfig(epoch_size=scale.epoch_size, reuse_replica_slots=False), operations)
+        reused = _run(GrubConfig(epoch_size=scale.epoch_size, reuse_replica_slots=True), operations)
+        return fresh_slots, reused
+
+    fresh_slots, reused = run_once(benchmark, experiment)
+    print()
+    print(
+        format_table(
+            ["replica slots", "Gas/op"],
+            [("fresh slot per replica", round(fresh_slots)), ("reused slot pool", round(reused))],
+            title="Ablation — replica slot reuse (BtcRelay 'reusable storage')",
+        )
+    )
+    assert reused <= fresh_slots

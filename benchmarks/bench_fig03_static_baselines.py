@@ -1,0 +1,28 @@
+"""Figure 3: per-operation Gas of the static baselines BL1/BL2 vs read-write ratio."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_ratio_sweep
+from repro.analysis.reporting import format_table
+
+from conftest import run_once
+
+RATIOS = (0.0, 0.125, 0.5, 1.0, 4.0, 16.0, 64.0, 256.0)
+
+
+def test_fig03_static_baselines(benchmark, scale):
+    result = run_once(benchmark, run_ratio_sweep, RATIOS, scale=scale, record_size_bytes=32)
+    print()
+    print(
+        format_table(
+            ["read/write ratio", "BL1 (no replica)", "BL2 (always replica)"],
+            [
+                (ratio, round(result.series("BL1")[i]), round(result.series("BL2")[i]))
+                for i, ratio in enumerate(result.ratios)
+            ],
+            title="Figure 3 — Gas per operation (static baselines)",
+        )
+    )
+    print(f"BL1/BL2 crossover ratio ≈ {result.crossover_ratio:.2f} (paper: ≈1.5)")
+    assert result.series("BL1")[0] < result.series("BL2")[0]
+    assert result.series("BL2")[-1] < result.series("BL1")[-1]

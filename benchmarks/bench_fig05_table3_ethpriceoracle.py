@@ -1,0 +1,38 @@
+"""Figure 5 / Table 3: GRuB vs BL1/BL2 under the ethPriceOracle trace with the stablecoin."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_eth_price_oracle_experiment
+from repro.analysis.reporting import format_gas, format_series, format_table
+
+from conftest import run_once
+
+
+def test_fig05_table3_ethpriceoracle(benchmark, scale):
+    result = run_once(
+        benchmark, run_eth_price_oracle_experiment, scale=scale, with_stablecoin=True
+    )
+    print()
+    rows = []
+    for name in ("BL1", "BL2", "GRuB"):
+        feed = result.feed_gas(name)
+        total = result.reports[name].gas_total
+        rows.append(
+            (
+                name,
+                format_gas(feed),
+                f"+{result.overhead_versus_grub(name):.1f}%" if name != "GRuB" else "—",
+                format_gas(total),
+            )
+        )
+    print(
+        format_table(
+            ["system", "price-feed Gas", "vs GRuB", "feed + SCoinIssuer Gas"],
+            rows,
+            title="Table 3 — Gas at the data-feed layer and with the stablecoin application",
+        )
+    )
+    for name, series in result.epoch_series.items():
+        print(format_series(f"Figure 5 series {name}", series, max_points=24))
+    assert result.feed_gas("GRuB") < result.feed_gas("BL1")
+    assert result.feed_gas("GRuB") < result.feed_gas("BL2")

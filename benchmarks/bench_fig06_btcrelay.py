@@ -1,0 +1,43 @@
+"""Figure 6: GRuB vs BL1/BL2 under the BtcRelay side-chain feed workload."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis.experiments import run_btcrelay_experiment
+from repro.analysis.reporting import format_gas, format_series, format_table
+
+from conftest import run_once
+
+
+def test_fig06_btcrelay(benchmark, scale):
+    result = run_once(benchmark, run_btcrelay_experiment, scale=scale)
+    print()
+    rows = []
+    for name in ("BL1", "BL2", "GRuB"):
+        series = result.epoch_series[name]
+        half = len(series) // 2
+        rows.append(
+            (
+                name,
+                format_gas(result.feed_gas(name)),
+                f"+{result.overhead_versus_grub(name):.1f}%" if name != "GRuB" else "—",
+                round(statistics.mean(series[:half])),
+                round(statistics.mean(series[half:])),
+            )
+        )
+    print(
+        format_table(
+            ["system", "total Gas", "vs GRuB", "phase-1 Gas/op", "phase-2 Gas/op"],
+            rows,
+            title="Figure 6 — BtcRelay trace (write-intensive phase, then read-intensive phase)",
+        )
+    )
+    for name, series in result.epoch_series.items():
+        print(format_series(f"Figure 6 series {name}", series, max_points=24))
+    # Shape: BL1 wins the write-intensive phase, BL2 the read-intensive one;
+    # GRuB stays competitive with the better baseline overall.
+    bl1, bl2 = result.epoch_series["BL1"], result.epoch_series["BL2"]
+    half = len(bl1) // 2
+    assert statistics.mean(bl1[:half]) < statistics.mean(bl2[:half])
+    assert statistics.mean(bl2[half:]) < statistics.mean(bl1[half:])

@@ -1,0 +1,37 @@
+"""Figure 7: converged Gas vs read/write ratio, including dynamic on-chain-trace baselines."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_ratio_sweep
+from repro.analysis.reporting import format_table
+
+from conftest import run_once
+
+RATIOS = (0.0, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0, 256.0)
+
+
+def test_fig07_read_write_ratio(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_ratio_sweep,
+        RATIOS,
+        scale=scale,
+        record_size_bytes=32,
+        include_dynamic_baselines=True,
+    )
+    systems = list(result.gas_per_operation)
+    print()
+    print(
+        format_table(
+            ["read/write ratio", *systems],
+            result.rows(),
+            title="Figure 7 — Gas per operation with varying read-to-write ratio",
+        )
+    )
+    print(f"BL1/BL2 crossover ratio ≈ {result.crossover_ratio:.2f} (paper: ≈2)")
+    # GRuB tracks the cheaper static baseline at the extremes and the on-chain
+    # trace baselines are strictly worse.
+    assert result.series("GRuB")[0] <= result.series("BL2")[0]
+    assert result.series("GRuB")[-1] <= result.series("BL1")[-1]
+    for index in range(len(RATIOS)):
+        assert result.series("BL3")[index] >= result.series("GRuB")[index]

@@ -1,0 +1,47 @@
+"""Figure 8a (algorithm comparison) and Figure 8b (record-size sweep)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_algorithm_comparison, run_record_size_sweep
+from repro.analysis.reporting import format_gas, format_series, format_table
+
+from conftest import run_once
+
+
+def test_fig08a_memoryless_vs_memorizing_vs_offline(benchmark, scale):
+    result = run_once(benchmark, run_algorithm_comparison, k=8, window_d=1, scale=scale)
+    print()
+    print(
+        format_table(
+            ["algorithm", "total feed Gas"],
+            [(name, format_gas(total)) for name, total in result.totals.items()],
+            title="Figure 8a — memoryless (K=8) vs memorizing (K'=8, D=1) vs offline optimal",
+        )
+    )
+    for name, series in result.epoch_series.items():
+        print(format_series(f"Figure 8a series {name}", series, max_points=24))
+    assert result.totals["memorizing"] < result.totals["memoryless"]
+    assert result.totals["offline"] <= result.totals["memorizing"] * 1.05
+
+
+def test_fig08b_record_size(benchmark, scale):
+    result = run_once(benchmark, run_record_size_sweep, (1, 2, 4, 8, 16), scale=scale)
+    print()
+    print(
+        format_table(
+            ["record size (words)", "BL1", "BL2", "GRuB"],
+            [
+                (
+                    words,
+                    round(result.gas_per_operation["BL1"][i]),
+                    round(result.gas_per_operation["BL2"][i]),
+                    round(result.gas_per_operation["GRuB"][i]),
+                )
+                for i, words in enumerate(result.record_sizes_words)
+            ],
+            title="Figure 8b — Gas per operation vs record size",
+        )
+    )
+    for name in ("BL1", "BL2", "GRuB"):
+        series = result.gas_per_operation[name]
+        assert series[0] < series[-1]

@@ -1,0 +1,53 @@
+"""Figure 11 (parameter K under synthetic ratios) and Figure 14 (K under YCSB)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_parameter_k_sweep, run_ycsb_parameter_k_sweep
+from repro.analysis.reporting import format_table
+
+from conftest import run_once
+
+K_VALUES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig11_parameter_k_synthetic(benchmark, scale):
+    result = run_once(
+        benchmark, run_parameter_k_sweep, K_VALUES, (2.0, 4.0, 8.0), scale=scale
+    )
+    print()
+    labels = list(result.gas_per_operation)
+    rows = [
+        (int(k), *[round(result.gas_per_operation[label][i]) for label in labels])
+        for i, k in enumerate(result.k_values)
+    ]
+    print(
+        format_table(
+            ["K", *labels],
+            rows,
+            title="Figure 11 — memoryless GRuB Gas per operation vs parameter K",
+        )
+    )
+    for label in labels:
+        series = result.gas_per_operation[label]
+        assert max(series) > min(series)
+
+
+def test_fig14_parameter_k_ycsb(benchmark, scale):
+    result = run_once(benchmark, run_ycsb_parameter_k_sweep, (1, 2, 4, 8, 16), scale=scale)
+    print()
+    rows = [
+        (int(k), round(result.gas_per_operation["GRuB"][i]))
+        for i, k in enumerate(result.k_values)
+    ]
+    print(
+        format_table(
+            ["K", "GRuB Gas/op"],
+            rows,
+            title="Figure 14 — GRuB Gas per operation vs K under mixed YCSB (A,B)",
+        )
+    )
+    print(
+        "baselines:",
+        {name: round(value) for name, value in result.baselines.items()},
+    )
+    assert result.baselines["BL1"] > 0 and result.baselines["BL2"] > 0

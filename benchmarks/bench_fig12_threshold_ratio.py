@@ -1,0 +1,37 @@
+"""Figure 12: threshold read/write ratio vs record size (12a) and data size (12b)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_threshold_ratio_experiment
+from repro.analysis.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig12_threshold_ratio(benchmark, scale):
+    result = run_once(
+        benchmark,
+        run_threshold_ratio_experiment,
+        (32, 512, 4096),
+        (256, 4096, 16384),
+        scale=scale,
+    )
+    print()
+    print(
+        format_table(
+            ["record size (bytes)", "threshold read/write ratio"],
+            [(size, f"{value:.2f}") for size, value in result.by_record_size.items()],
+            title="Figure 12a — threshold ratio vs record size",
+        )
+    )
+    print(
+        format_table(
+            ["data size (records)", "threshold read/write ratio"],
+            [(size, f"{value:.2f}") for size, value in result.by_data_size.items()],
+            title="Figure 12b — threshold ratio vs data size",
+        )
+    )
+    record_sizes = sorted(result.by_record_size)
+    assert result.by_record_size[record_sizes[0]] <= result.by_record_size[record_sizes[-1]]
+    data_sizes = sorted(result.by_data_size)
+    assert result.by_data_size[data_sizes[-1]] <= result.by_data_size[data_sizes[0]]

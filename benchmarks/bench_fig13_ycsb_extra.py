@@ -1,0 +1,34 @@
+"""Figure 13: per-epoch Gas series for the additional YCSB mixes (A,E and A,F)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_ycsb_experiment
+from repro.analysis.reporting import format_gas, format_series
+
+from conftest import run_once
+
+
+@pytest.mark.parametrize(
+    "mix,phases,record_size",
+    [("A,E", ("A", "E", "A", "E"), None), ("A,F", ("A", "F", "A", "F"), 32)],
+)
+def test_fig13_ycsb_time_series(benchmark, scale, mix, phases, record_size):
+    result = run_once(
+        benchmark, run_ycsb_experiment, phases, scale=scale, record_size_bytes=record_size
+    )
+    print()
+    print(f"Figure 13 — mixed YCSB workload {mix}")
+    for name in ("BL1", "BL2", "GRuB"):
+        print(
+            format_series(
+                f"  {name} ({format_gas(result.feed_gas(name))} total)",
+                result.epoch_series[name],
+                max_points=24,
+            )
+        )
+    # GRuB beats the worse static placement on every mix; on the small-record
+    # A,F mix it lands between the baselines (see EXPERIMENTS.md).
+    assert result.feed_gas("GRuB") <= max(result.feed_gas("BL1"), result.feed_gas("BL2"))
+    assert result.feed_gas("GRuB") <= min(result.feed_gas("BL1"), result.feed_gas("BL2")) * 1.5

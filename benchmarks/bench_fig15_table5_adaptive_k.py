@@ -1,0 +1,27 @@
+"""Figure 15 / Table 5: static K versus the adaptive K1/K2 policies on ethPriceOracle."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_adaptive_k_experiment
+from repro.analysis.reporting import format_gas, format_series, format_table
+
+from conftest import run_once
+
+
+def test_fig15_table5_adaptive_k(benchmark, scale):
+    result = run_once(benchmark, run_adaptive_k_experiment, scale=scale)
+    print()
+    rows = []
+    for name, total in result.totals.items():
+        delta = "—" if name == "static" else f"{result.relative_to_static(name):+.1f}%"
+        rows.append((name, format_gas(total), delta))
+    print(
+        format_table(
+            ["policy", "aggregate Gas", "vs static K"],
+            rows,
+            title="Table 5 — adaptive-K policies under the ethPriceOracle trace",
+        )
+    )
+    for name, series in result.epoch_series.items():
+        print(format_series(f"Figure 15 series {name}", series, max_points=24))
+    assert all(total > 0 for total in result.totals.values())

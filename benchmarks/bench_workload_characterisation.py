@@ -1,0 +1,45 @@
+"""Tables 1 and 6 / Figures 2 and 16: workload characterisation of the two traces."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_workload_characterisation
+from repro.analysis.reporting import format_distribution, format_series
+
+from conftest import run_once
+
+
+def test_tables1_and_6_workload_characterisation(benchmark, scale):
+    result = run_once(benchmark, run_workload_characterisation, scale=scale)
+    print()
+    print(
+        format_distribution(
+            result.eth_price_oracle.reads_per_write_distribution(),
+            title="Table 1 — ethPriceOracle reads-per-write distribution (synthetic trace)",
+        )
+    )
+    print(
+        format_distribution(
+            result.btcrelay.reads_per_write_distribution(),
+            title="Table 6 — BtcRelay reads-per-write distribution (synthetic trace)",
+        )
+    )
+    print(
+        format_series(
+            "Figure 2 — reads following each write (ethPriceOracle)",
+            result.eth_price_oracle.reads_per_write_series(),
+            precision=0,
+            max_points=48,
+        )
+    )
+    print(
+        format_series(
+            "Figure 16a — reads following each write (BtcRelay)",
+            result.btcrelay.reads_per_write_series(),
+            precision=0,
+            max_points=48,
+        )
+    )
+    eth = result.eth_price_oracle.reads_per_write_distribution()
+    btc = result.btcrelay.reads_per_write_distribution()
+    assert abs(eth.get(0, 0) - 0.704) < 0.05
+    assert abs(btc.get(0, 0) - 0.937) < 0.05

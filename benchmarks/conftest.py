@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation at a
+laptop-friendly scale (``ExperimentScale.default()``), prints the rows/series
+the paper reports, and records the wall-clock time of the experiment run via
+pytest-benchmark.  Set ``GRUB_BENCH_SCALE=paper`` to run the paper's full
+parameters (much slower).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.experiments import ExperimentScale
+
+
+def _selected_scale() -> ExperimentScale:
+    name = os.environ.get("GRUB_BENCH_SCALE", "default").lower()
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "quick":
+        return ExperimentScale.quick()
+    return ExperimentScale.default()
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return _selected_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,58 @@
+"""GRuB reproduction: workload-adaptive data replication for blockchain data feeds.
+
+This package is a from-scratch, laptop-scale reproduction of the system
+described in *Cost-Effective Data Feeds to Blockchains via Workload-Adaptive
+Data Replication* (Middleware 2020).  It provides:
+
+* ``repro.chain`` — a gas-metered Ethereum-like blockchain simulator,
+* ``repro.storage`` — an LSM-tree key-value store standing in for LevelDB,
+* ``repro.ads`` — Merkle-tree authenticated data structures,
+* ``repro.core`` — the GRuB system itself (online replication decision
+  algorithms, control plane, data plane, storage-manager contract, and the
+  static/dynamic baselines used in the paper's evaluation),
+* ``repro.apps`` — the paper's case-study applications (a collateralised
+  stablecoin on a price feed, and a BtcRelay-style side-chain feed backing a
+  Bitcoin-pegged token),
+* ``repro.workloads`` — the workload generators used in the evaluation
+  (ethPriceOracle trace, BtcRelay trace, YCSB A/B/E/F, synthetic ratios),
+* ``repro.analysis`` — experiment runners that regenerate every table and
+  figure in the paper's evaluation section.
+
+Quickstart::
+
+    from repro import GrubSystem, GrubConfig
+    from repro.workloads import SyntheticWorkload
+
+    system = GrubSystem(GrubConfig(epoch_size=32))
+    workload = SyntheticWorkload(read_write_ratio=4, num_operations=256)
+    report = system.run(workload.operations())
+    print(report.gas_per_operation)
+"""
+
+from repro.common.types import KVRecord, Operation, OperationKind, ReplicationState
+from repro.chain.gas import GasSchedule
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem
+from repro.core.baselines import (
+    NoReplicationSystem,
+    AlwaysReplicateSystem,
+    OnChainTraceSystem,
+    OnChainReadTraceSystem,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "KVRecord",
+    "Operation",
+    "OperationKind",
+    "ReplicationState",
+    "GasSchedule",
+    "GrubConfig",
+    "GrubSystem",
+    "NoReplicationSystem",
+    "AlwaysReplicateSystem",
+    "OnChainTraceSystem",
+    "OnChainReadTraceSystem",
+    "__version__",
+]

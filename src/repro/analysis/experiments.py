@@ -1,0 +1,646 @@
+"""Experiment runners: one function per table/figure of the paper's evaluation.
+
+Each runner builds the systems under comparison (GRuB plus the relevant
+baselines), drives the corresponding workload, and returns a structured result
+object.  Benchmarks call these runners and print the rows/series the paper
+reports; tests assert the *shape* properties (who wins, where the crossover
+falls) rather than absolute gas values.
+
+Every runner accepts an :class:`ExperimentScale` so the same code can run the
+paper's full parameters (slow) or a scaled-down configuration (the default for
+benchmarks and CI) without changing the experiment logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.types import KVRecord, Operation, ReplicationState
+from repro.core.baselines import (
+    AlwaysReplicateSystem,
+    NoReplicationSystem,
+    OnChainReadTraceSystem,
+    OnChainTraceSystem,
+)
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem, RunReport
+from repro.workloads.btcrelay_trace import BtcRelayTrace
+from repro.workloads.eth_price_oracle import EthPriceOracleTrace
+from repro.workloads.operations import WorkloadStats, characterise
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.ycsb import MixedYCSBWorkload
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scaling knobs shared by all experiment runners.
+
+    ``paper()`` returns the parameters used in the paper; ``default()`` is a
+    laptop-scale configuration that preserves every shape while keeping each
+    experiment under a few seconds.
+    """
+
+    synthetic_operations: int = 512
+    epoch_size: int = 32
+    eth_price_writes: int = 790
+    eth_price_store_records: int = 256
+    eth_price_assets_per_update: int = 10
+    btcrelay_blocks: int = 204
+    btcrelay_epoch_size: int = 4
+    ycsb_record_count: int = 2048
+    ycsb_operations_per_phase: int = 1024
+    ycsb_record_size_bytes: int = 256
+
+    @classmethod
+    def default(cls) -> "ExperimentScale":
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """Very small configuration for unit tests."""
+        return cls(
+            synthetic_operations=128,
+            eth_price_writes=120,
+            eth_price_store_records=64,
+            eth_price_assets_per_update=4,
+            btcrelay_blocks=60,
+            ycsb_record_count=256,
+            ycsb_operations_per_phase=128,
+            ycsb_record_size_bytes=64,
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(
+            synthetic_operations=2048,
+            eth_price_writes=790,
+            eth_price_store_records=4096,
+            eth_price_assets_per_update=10,
+            btcrelay_blocks=204,
+            ycsb_record_count=65536,
+            ycsb_operations_per_phase=4096,
+            ycsb_record_size_bytes=1024,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3 and 7: per-operation gas versus read/write ratio
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RatioSweepResult:
+    """Per-ratio per-operation gas for each system (Figures 3 and 7)."""
+
+    ratios: List[float]
+    gas_per_operation: Dict[str, List[float]]
+    crossover_ratio: Optional[float] = None
+
+    def series(self, system: str) -> List[float]:
+        return self.gas_per_operation[system]
+
+    def rows(self) -> List[Tuple[object, ...]]:
+        systems = list(self.gas_per_operation)
+        rows = []
+        for index, ratio in enumerate(self.ratios):
+            rows.append(
+                (ratio, *[round(self.gas_per_operation[s][index]) for s in systems])
+            )
+        return rows
+
+
+DEFAULT_RATIOS = (0.0, 0.125, 0.5, 1.0, 2.0, 4.0, 16.0, 64.0, 256.0)
+
+
+def run_ratio_sweep(
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    *,
+    scale: Optional[ExperimentScale] = None,
+    record_size_bytes: int = 32,
+    include_dynamic_baselines: bool = False,
+    grub_algorithm: str = "memoryless",
+    num_keys: int = 4,
+) -> RatioSweepResult:
+    """Figure 3 (static baselines only) and Figure 7 (plus BL3/BL4 and GRuB)."""
+    scale = scale or ExperimentScale.default()
+    systems: Dict[str, type] = {"BL1": NoReplicationSystem, "BL2": AlwaysReplicateSystem}
+    if include_dynamic_baselines:
+        systems["BL3"] = OnChainTraceSystem
+        systems["BL4"] = OnChainReadTraceSystem
+    systems["GRuB"] = GrubSystem
+
+    results: Dict[str, List[float]] = {name: [] for name in systems}
+    for ratio in ratios:
+        workload = SyntheticWorkload(
+            read_write_ratio=ratio,
+            num_operations=scale.synthetic_operations,
+            num_keys=num_keys,
+            record_size_bytes=record_size_bytes,
+        )
+        operations = workload.operations()
+        for name, cls in systems.items():
+            config = GrubConfig(
+                epoch_size=scale.epoch_size,
+                record_size_bytes=record_size_bytes,
+                algorithm=grub_algorithm if name in ("GRuB", "BL3", "BL4") else "memoryless",
+            )
+            system = cls(config)
+            report = system.run(operations)
+            results[name].append(report.gas_per_operation)
+
+    crossover = _find_crossover(list(ratios), results.get("BL1", []), results.get("BL2", []))
+    return RatioSweepResult(
+        ratios=list(ratios), gas_per_operation=results, crossover_ratio=crossover
+    )
+
+
+def _find_crossover(
+    ratios: List[float], series_a: List[float], series_b: List[float]
+) -> Optional[float]:
+    """Ratio where series A stops being cheaper than series B (linear interpolation)."""
+    for index in range(1, len(ratios)):
+        prev_diff = series_a[index - 1] - series_b[index - 1]
+        curr_diff = series_a[index] - series_b[index]
+        if prev_diff == 0:
+            return ratios[index - 1]
+        if prev_diff < 0 <= curr_diff or prev_diff > 0 >= curr_diff:
+            span = curr_diff - prev_diff
+            if span == 0:
+                return ratios[index]
+            fraction = -prev_diff / span
+            return ratios[index - 1] + fraction * (ratios[index] - ratios[index - 1])
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 / Table 3: ethPriceOracle trace with the stablecoin application
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraceExperimentResult:
+    """GRuB versus the static baselines under one recorded trace."""
+
+    reports: Dict[str, RunReport]
+    epoch_series: Dict[str, List[float]]
+    application_gas: Dict[str, int] = field(default_factory=dict)
+
+    def feed_gas(self, system: str) -> int:
+        return self.reports[system].gas_feed
+
+    def overhead_versus_grub(self, system: str) -> float:
+        grub = self.reports["GRuB"].gas_feed
+        if grub == 0:
+            return 0.0
+        return (self.reports[system].gas_feed - grub) / grub * 100.0
+
+
+def run_eth_price_oracle_experiment(
+    *,
+    scale: Optional[ExperimentScale] = None,
+    with_stablecoin: bool = True,
+    grub_algorithm: str = "memoryless",
+    grub_k: int = 1,
+    read_fanout: int = 10,
+) -> TraceExperimentResult:
+    """Figure 5 and Table 3: GRuB vs BL1/BL2 under the ethPriceOracle workload."""
+    scale = scale or ExperimentScale.default()
+    trace = EthPriceOracleTrace(
+        num_writes=scale.eth_price_writes,
+        assets_per_update=scale.eth_price_assets_per_update,
+        num_assets=scale.eth_price_store_records,
+        read_fanout=read_fanout,
+        hot_assets=2,
+    )
+    operations = trace.operations()
+    preload = [
+        KVRecord.make(trace.asset_key(index), b"\x00" * 32, ReplicationState.NOT_REPLICATED)
+        for index in range(scale.eth_price_store_records)
+    ]
+
+    reports: Dict[str, RunReport] = {}
+    application_gas: Dict[str, int] = {}
+    for name, cls, algorithm in (
+        ("BL1", NoReplicationSystem, "never"),
+        ("BL2", AlwaysReplicateSystem, "always"),
+        ("GRuB", GrubSystem, grub_algorithm),
+    ):
+        config = GrubConfig(
+            epoch_size=scale.epoch_size,
+            record_size_bytes=32,
+            algorithm=algorithm,
+            k=grub_k if name == "GRuB" else None,
+        )
+        system = cls(config, preload=preload)
+        if with_stablecoin:
+            from repro.apps.stablecoin import build_stablecoin_deployment
+
+            build_stablecoin_deployment(system)
+        report = system.run(operations)
+        reports[name] = report
+        application_gas[name] = report.gas_application
+    return TraceExperimentResult(
+        reports=reports,
+        epoch_series={name: report.epoch_series() for name, report in reports.items()},
+        application_gas=application_gas,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: BtcRelay trace
+# ---------------------------------------------------------------------------
+
+
+def run_btcrelay_experiment(
+    *,
+    scale: Optional[ExperimentScale] = None,
+    grub_k: int = 2,
+    evict_after_epochs: int = 8,
+) -> TraceExperimentResult:
+    """Figure 6: GRuB vs BL1/BL2 under the BtcRelay block-read workload."""
+    scale = scale or ExperimentScale.default()
+    trace = BtcRelayTrace(num_blocks=scale.btcrelay_blocks)
+    operations = trace.operations()
+
+    reports: Dict[str, RunReport] = {}
+    for name, cls, algorithm in (
+        ("BL1", NoReplicationSystem, "never"),
+        ("BL2", AlwaysReplicateSystem, "always"),
+        ("GRuB", GrubSystem, "memorizing"),
+    ):
+        config = GrubConfig(
+            epoch_size=scale.btcrelay_epoch_size,
+            record_size_bytes=96,
+            algorithm=algorithm,
+            k=grub_k,
+            k_prime=grub_k,
+            reuse_replica_slots=name == "GRuB",
+            continuous_decisions=name == "GRuB",
+            evict_unused_after_epochs=evict_after_epochs if name == "GRuB" else None,
+        )
+        system = cls(config)
+        reports[name] = system.run(operations)
+    return TraceExperimentResult(
+        reports=reports,
+        epoch_series={name: report.epoch_series() for name, report in reports.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 9, 13, 14 / Table 4: YCSB macro-benchmarks
+# ---------------------------------------------------------------------------
+
+
+def run_ycsb_experiment(
+    phases: Sequence[str] = ("A", "B", "A", "B"),
+    *,
+    scale: Optional[ExperimentScale] = None,
+    record_size_bytes: Optional[int] = None,
+    grub_algorithm: str = "memoryless",
+    grub_k: Optional[int] = None,
+) -> TraceExperimentResult:
+    """Figure 9 / 13 and Table 4: GRuB vs baselines under mixed YCSB workloads."""
+    scale = scale or ExperimentScale.default()
+    record_size = record_size_bytes or scale.ycsb_record_size_bytes
+    workload = MixedYCSBWorkload(
+        phases=phases,
+        record_count=scale.ycsb_record_count,
+        record_size_bytes=record_size,
+        operations_per_phase=scale.ycsb_operations_per_phase,
+    )
+    operations = workload.operations()
+    markers = workload.phase_markers()
+
+    reports: Dict[str, RunReport] = {}
+    for name, cls, algorithm in (
+        ("BL1", NoReplicationSystem, "never"),
+        ("BL2", AlwaysReplicateSystem, "always"),
+        ("GRuB", GrubSystem, grub_algorithm),
+    ):
+        config = GrubConfig(
+            epoch_size=scale.epoch_size,
+            record_size_bytes=record_size,
+            algorithm=algorithm,
+            k=grub_k if name == "GRuB" else None,
+        )
+        system = cls(config, preload=workload.preload_records())
+        reports[name] = system.run(operations, phase_markers=markers)
+    return TraceExperimentResult(
+        reports=reports,
+        epoch_series={name: report.epoch_series() for name, report in reports.items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8a: memoryless vs memorizing vs offline optimal
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AlgorithmComparisonResult:
+    """Per-epoch gas of each decision algorithm over the same workload."""
+
+    epoch_series: Dict[str, List[float]]
+    totals: Dict[str, int]
+
+
+def run_algorithm_comparison(
+    *,
+    k: int = 8,
+    window_d: int = 1,
+    scale: Optional[ExperimentScale] = None,
+    num_keys: int = 4,
+) -> AlgorithmComparisonResult:
+    """Figure 8a: the workload of ratio K+1 that separates the two algorithms."""
+    scale = scale or ExperimentScale.default()
+    workload = SyntheticWorkload(
+        read_write_ratio=k + 1,
+        num_operations=scale.synthetic_operations,
+        num_keys=num_keys,
+        record_size_bytes=32,
+    )
+    operations = workload.operations()
+
+    epoch_series: Dict[str, List[float]] = {}
+    totals: Dict[str, int] = {}
+    configs = {
+        "memoryless": GrubConfig(epoch_size=scale.epoch_size, algorithm="memoryless", k=k),
+        "memorizing": GrubConfig(
+            epoch_size=scale.epoch_size, algorithm="memorizing", k_prime=k, window_d=window_d
+        ),
+        "offline": GrubConfig(epoch_size=scale.epoch_size, algorithm="memoryless", k=k),
+    }
+    for name, config in configs.items():
+        system = GrubSystem(config)
+        if name == "offline":
+            system.set_future_trace(operations)
+        report = system.run(operations)
+        epoch_series[name] = report.epoch_series()
+        totals[name] = report.gas_feed
+    return AlgorithmComparisonResult(epoch_series=epoch_series, totals=totals)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8b: record size sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecordSizeSweepResult:
+    record_sizes_words: List[int]
+    gas_per_operation: Dict[str, List[float]]
+
+
+def run_record_size_sweep(
+    record_sizes_words: Sequence[int] = (1, 2, 4, 8, 16),
+    *,
+    read_write_ratio: float = 2.0,
+    scale: Optional[ExperimentScale] = None,
+) -> RecordSizeSweepResult:
+    """Figure 8b: per-operation gas versus record size for BL1, BL2 and GRuB."""
+    scale = scale or ExperimentScale.default()
+    results: Dict[str, List[float]] = {"BL1": [], "BL2": [], "GRuB": []}
+    for words in record_sizes_words:
+        size_bytes = words * 32
+        workload = SyntheticWorkload(
+            read_write_ratio=read_write_ratio,
+            num_operations=scale.synthetic_operations,
+            num_keys=4,
+            record_size_bytes=size_bytes,
+        )
+        operations = workload.operations()
+        for name, cls in (
+            ("BL1", NoReplicationSystem),
+            ("BL2", AlwaysReplicateSystem),
+            ("GRuB", GrubSystem),
+        ):
+            config = GrubConfig(epoch_size=scale.epoch_size, record_size_bytes=size_bytes)
+            report = cls(config).run(operations)
+            results[name].append(report.gas_per_operation)
+    return RecordSizeSweepResult(
+        record_sizes_words=list(record_sizes_words), gas_per_operation=results
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 11 and 14: parameter K sweeps
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ParameterKSweepResult:
+    k_values: List[float]
+    gas_per_operation: Dict[str, List[float]]
+    baselines: Dict[str, float] = field(default_factory=dict)
+
+
+def run_parameter_k_sweep(
+    k_values: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    ratios: Sequence[float] = (2.0, 4.0, 8.0),
+    *,
+    scale: Optional[ExperimentScale] = None,
+) -> ParameterKSweepResult:
+    """Figure 11: memoryless GRuB's gas versus K for several read/write ratios."""
+    scale = scale or ExperimentScale.default()
+    results: Dict[str, List[float]] = {}
+    for ratio in ratios:
+        label = f"ratio={ratio:g}"
+        results[label] = []
+        workload = SyntheticWorkload(
+            read_write_ratio=ratio,
+            num_operations=scale.synthetic_operations,
+            num_keys=4,
+            record_size_bytes=32,
+        )
+        operations = workload.operations()
+        for k in k_values:
+            config = GrubConfig(epoch_size=scale.epoch_size, algorithm="memoryless", k=int(k))
+            report = GrubSystem(config).run(operations)
+            results[label].append(report.gas_per_operation)
+    return ParameterKSweepResult(k_values=[float(k) for k in k_values], gas_per_operation=results)
+
+
+def run_ycsb_parameter_k_sweep(
+    k_values: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    phases: Sequence[str] = ("A", "B", "A", "B"),
+    *,
+    scale: Optional[ExperimentScale] = None,
+) -> ParameterKSweepResult:
+    """Figure 14: GRuB's gas versus K under the mixed YCSB workload, with baselines."""
+    scale = scale or ExperimentScale.default()
+    workload = MixedYCSBWorkload(
+        phases=phases,
+        record_count=scale.ycsb_record_count,
+        record_size_bytes=scale.ycsb_record_size_bytes,
+        operations_per_phase=scale.ycsb_operations_per_phase,
+    )
+    operations = workload.operations()
+    preload = workload.preload_records()
+
+    baselines: Dict[str, float] = {}
+    for name, cls in (("BL1", NoReplicationSystem), ("BL2", AlwaysReplicateSystem)):
+        config = GrubConfig(
+            epoch_size=scale.epoch_size, record_size_bytes=scale.ycsb_record_size_bytes
+        )
+        baselines[name] = cls(config, preload=list(preload)).run(operations).gas_per_operation
+
+    series: List[float] = []
+    for k in k_values:
+        config = GrubConfig(
+            epoch_size=scale.epoch_size,
+            record_size_bytes=scale.ycsb_record_size_bytes,
+            algorithm="memoryless",
+            k=int(k),
+        )
+        report = GrubSystem(config, preload=list(preload)).run(operations)
+        series.append(report.gas_per_operation)
+    return ParameterKSweepResult(
+        k_values=[float(k) for k in k_values],
+        gas_per_operation={"GRuB": series},
+        baselines=baselines,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: threshold read/write ratio versus record size and data size
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ThresholdRatioResult:
+    by_record_size: Dict[int, Optional[float]]
+    by_data_size: Dict[int, Optional[float]]
+
+
+def run_threshold_ratio_experiment(
+    record_sizes_bytes: Sequence[int] = (32, 512, 4096),
+    data_sizes: Sequence[int] = (256, 4096, 65536),
+    *,
+    ratios: Sequence[float] = (0.125, 0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0),
+    scale: Optional[ExperimentScale] = None,
+) -> ThresholdRatioResult:
+    """Figure 12: where the BL1/BL2 crossover falls as record and data size vary."""
+    scale = scale or ExperimentScale.default()
+
+    def crossover_for(record_size: int, data_size: int) -> Optional[float]:
+        """BL1/BL2 crossover ratio; the largest tested ratio is reported as a
+        lower bound when the curves do not cross within the grid."""
+        preload = [
+            KVRecord.make(f"key-{index:08d}", b"\x00" * record_size)
+            for index in range(data_size)
+        ]
+        series: Dict[str, List[float]] = {"BL1": [], "BL2": []}
+        for ratio in ratios:
+            workload = SyntheticWorkload(
+                read_write_ratio=ratio,
+                num_operations=scale.synthetic_operations // 2,
+                num_keys=min(4, data_size),
+                record_size_bytes=record_size,
+                key_prefix="key",
+            )
+            operations = workload.operations()
+            for name, cls in (("BL1", NoReplicationSystem), ("BL2", AlwaysReplicateSystem)):
+                config = GrubConfig(epoch_size=scale.epoch_size, record_size_bytes=record_size)
+                report = cls(config, preload=list(preload)).run(operations)
+                series[name].append(report.gas_per_operation)
+        crossover = _find_crossover(list(ratios), series["BL1"], series["BL2"])
+        return crossover if crossover is not None else float(max(ratios))
+
+    by_record_size = {
+        size: crossover_for(size, data_sizes[0]) for size in record_sizes_bytes
+    }
+    by_data_size = {
+        size: crossover_for(record_sizes_bytes[0], size) for size in data_sizes
+    }
+    return ThresholdRatioResult(by_record_size=by_record_size, by_data_size=by_data_size)
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 / Table 5: adaptive-K policies
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AdaptiveKResult:
+    totals: Dict[str, int]
+    epoch_series: Dict[str, List[float]]
+
+    def relative_to_static(self, policy: str) -> float:
+        static = self.totals["static"]
+        if static == 0:
+            return 0.0
+        return (self.totals[policy] - static) / static * 100.0
+
+
+def run_adaptive_k_experiment(
+    *,
+    scale: Optional[ExperimentScale] = None,
+    static_k: int = 1,
+) -> AdaptiveKResult:
+    """Figure 15 / Table 5: static K vs adaptive policies K1 and K2 on ethPriceOracle."""
+    scale = scale or ExperimentScale.default()
+    trace = EthPriceOracleTrace(
+        num_writes=scale.eth_price_writes,
+        assets_per_update=scale.eth_price_assets_per_update,
+        num_assets=scale.eth_price_store_records,
+    )
+    operations = trace.operations()
+    preload = [
+        KVRecord.make(trace.asset_key(index), b"\x00" * 32)
+        for index in range(scale.eth_price_store_records)
+    ]
+
+    totals: Dict[str, int] = {}
+    epoch_series: Dict[str, List[float]] = {}
+    for name, algorithm in (
+        ("static", "memoryless"),
+        ("adaptive-k1", "adaptive-k1"),
+        ("adaptive-k2", "adaptive-k2"),
+    ):
+        config = GrubConfig(
+            epoch_size=scale.epoch_size,
+            record_size_bytes=32,
+            algorithm=algorithm,
+            k=static_k,
+        )
+        system = GrubSystem(config, preload=list(preload))
+        report = system.run(operations)
+        totals[name] = report.gas_feed
+        epoch_series[name] = report.epoch_series()
+    return AdaptiveKResult(totals=totals, epoch_series=epoch_series)
+
+
+# ---------------------------------------------------------------------------
+# Tables 1 and 6 / Figures 2 and 16: workload characterisation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CharacterisationResult:
+    eth_price_oracle: WorkloadStats
+    btcrelay: WorkloadStats
+    eth_price_target: Dict[int, float]
+    btcrelay_target: Dict[int, float]
+
+
+def run_workload_characterisation(
+    *, scale: Optional[ExperimentScale] = None
+) -> CharacterisationResult:
+    """Tables 1 and 6: reads-per-write distributions of the two real-trace workloads."""
+    scale = scale or ExperimentScale.default()
+    eth_trace = EthPriceOracleTrace(
+        num_writes=scale.eth_price_writes, assets_per_update=1, spread_reads=False
+    )
+    btc_trace = BtcRelayTrace(
+        num_blocks=max(scale.btcrelay_blocks, 400),
+        read_boost=1.0,
+        write_phase_fraction=0.0,
+        verification_rate=0.0,
+    )
+    return CharacterisationResult(
+        eth_price_oracle=characterise(eth_trace.operations()),
+        btcrelay=characterise(btc_trace.operations()),
+        eth_price_target={k: v / 100.0 for k, v in eth_trace.reads_per_write_target().items()},
+        btcrelay_target={k: v / 100.0 for k, v in btc_trace.reads_per_write_target().items()},
+    )

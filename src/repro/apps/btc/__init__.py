@@ -1,0 +1,29 @@
+"""The BtcRelay case study: side-chain feed and Bitcoin-pegged token.
+
+* :mod:`repro.apps.btc.bitcoin` — a simulated Bitcoin chain producing block
+  headers, transactions and SPV (Merkle inclusion) proofs,
+* :mod:`repro.apps.btc.btcrelay` — the BtcRelay-style feed that publishes
+  block headers into the GRuB KV store,
+* :mod:`repro.apps.btc.pegged_token` — a Bitcoin-pegged ERC20 token whose
+  mint/burn operations verify deposit/redeem transactions against headers
+  obtained from the feed.
+"""
+
+from repro.apps.btc.bitcoin import BitcoinSimulator, BitcoinBlock, BitcoinTransaction, SPVProof
+from repro.apps.btc.btcrelay import BtcRelayFeed
+from repro.apps.btc.pegged_token import (
+    PeggedTokenContract,
+    PeggedTokenDeployment,
+    build_pegged_token_deployment,
+)
+
+__all__ = [
+    "BitcoinSimulator",
+    "BitcoinBlock",
+    "BitcoinTransaction",
+    "SPVProof",
+    "BtcRelayFeed",
+    "PeggedTokenContract",
+    "PeggedTokenDeployment",
+    "build_pegged_token_deployment",
+]

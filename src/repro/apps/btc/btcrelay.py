@@ -1,0 +1,52 @@
+"""The BtcRelay-style side-chain feed: Bitcoin block headers into GRuB.
+
+The data owner runs a trusted off-chain Bitcoin client (the simulator here)
+and, every time a new Bitcoin block is found, publishes the mapping
+``block key -> header bytes`` into the GRuB KV store.  Data-consumer contracts
+(the pegged token) read headers through ``gGet`` to verify SPV proofs.
+
+Unlike the price feed, this workload never overwrites existing records — each
+block header is a new key — which is why the BtcRelay experiment configures
+GRuB with replica eviction (reusable storage) to keep the on-chain footprint
+bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.btc.bitcoin import BitcoinBlock, BitcoinSimulator
+from repro.core.data_owner import DataOwner
+
+
+def block_key(height: int) -> str:
+    """Feed key under which the header at ``height`` is stored."""
+    return f"btc-block-{height:08d}"
+
+
+@dataclass
+class BtcRelayFeed:
+    """Off-chain half of the side-chain feed: relays new headers into GRuB."""
+
+    data_owner: DataOwner
+    bitcoin: BitcoinSimulator
+    relayed_heights: List[int] = field(default_factory=list)
+
+    def relay_new_blocks(self) -> int:
+        """Publish every Bitcoin block not yet relayed; returns how many."""
+        start = (self.relayed_heights[-1] + 1) if self.relayed_heights else 1
+        relayed = 0
+        for height in range(start, self.bitcoin.tip.height + 1):
+            block = self.bitcoin.block_at(height)
+            self.relay_block(block)
+            relayed += 1
+        return relayed
+
+    def relay_block(self, block: BitcoinBlock) -> None:
+        """Publish one block header into the feed (buffered until epoch end)."""
+        self.data_owner.put(block_key(block.height), block.header_bytes())
+        self.relayed_heights.append(block.height)
+
+    def latest_relayed_height(self) -> Optional[int]:
+        return self.relayed_heights[-1] if self.relayed_heights else None

@@ -1,0 +1,44 @@
+"""A gas-metered, Ethereum-like blockchain simulator.
+
+This package is the on-chain substrate for the GRuB reproduction.  It models
+exactly the parts of Ethereum that determine the paper's evaluation metric
+(Gas) and protocol behaviour:
+
+* a gas schedule matching Table 2 of the paper (:mod:`repro.chain.gas`),
+* gas-metered contract storage with insert / update / delete / read pricing
+  (:mod:`repro.chain.state`),
+* transactions with intrinsic (base + calldata) gas (:mod:`repro.chain.transaction`),
+* an append-only event log usable by off-chain watchdogs (:mod:`repro.chain.events`),
+* block production, propagation delay and finality (:mod:`repro.chain.chain`),
+* a Python ``Contract`` base class standing in for Solidity contracts
+  (:mod:`repro.chain.contract`), and
+* simple externally-owned accounts holding Ether for the application case
+  studies (:mod:`repro.chain.accounts`).
+"""
+
+from repro.chain.gas import GasSchedule, GasLedger
+from repro.chain.vm import GasMeter, ExecutionContext
+from repro.chain.state import ContractStorage
+from repro.chain.events import LogEvent, EventLog
+from repro.chain.transaction import Transaction, TransactionReceipt
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain, ChainParameters
+from repro.chain.contract import Contract
+from repro.chain.accounts import AccountRegistry
+
+__all__ = [
+    "GasSchedule",
+    "GasLedger",
+    "GasMeter",
+    "ExecutionContext",
+    "ContractStorage",
+    "LogEvent",
+    "EventLog",
+    "Transaction",
+    "TransactionReceipt",
+    "Block",
+    "Blockchain",
+    "ChainParameters",
+    "Contract",
+    "AccountRegistry",
+]

@@ -1,0 +1,301 @@
+"""The blockchain simulator: transaction pool, block production, finality.
+
+The chain executes transactions against deployed contracts, charging intrinsic
+gas (base + calldata) and execution gas through the contract's own metered
+operations.  Failed calls revert the target contract's storage, as the EVM
+would, but still consume the gas charged up to the failure point.
+
+Timing parameters follow the paper's consistency model (Section 3.4 /
+Appendix E): block interval ``B``, propagation delay ``Pt`` and finality depth
+``F``.  A transaction submitted at time ``t`` is included in the next produced
+block and is *finalized* once ``F`` further blocks exist, i.e. at roughly
+``t + Pt + B * F``; the helpers expose these timestamps so the consistency
+theorems can be checked in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.chain.block import Block
+from repro.chain.contract import Contract
+from repro.chain.events import EventLog, LogEvent
+from repro.chain.gas import GasLedger, GasSchedule, LAYER_FEED
+from repro.chain.transaction import Transaction, TransactionReceipt
+from repro.chain.vm import ExecutionContext, GasMeter
+from repro.common.clock import SimulatedClock
+from repro.common.errors import ContractError, OutOfGasError, ReproError
+from repro.common.hashing import EMPTY_DIGEST
+
+
+@dataclass(frozen=True)
+class ChainParameters:
+    """Timing and capacity parameters of the simulated chain.
+
+    Defaults follow the paper: Ethereum block time 10–19 s (we use 14 s),
+    finality after 250 blocks, and a 10M block gas limit.  The propagation
+    delay ``Pt`` models how long a submitted transaction takes to reach all
+    nodes.
+    """
+
+    block_interval: float = 14.0
+    propagation_delay: float = 1.0
+    finality_depth: int = 250
+    block_gas_limit: int = 10_000_000
+    default_gas_limit: Optional[int] = None
+
+
+class Blockchain:
+    """A single logical view of the blockchain shared by all simulated nodes.
+
+    The paper assumes the blockchain itself is trusted (immutable,
+    fork-consistent, Sybil-secure); the simulator therefore keeps one
+    canonical history rather than modelling adversarial forks, but it does
+    model the *latency* of inclusion and finality because the consistency
+    guarantees depend on them.
+    """
+
+    def __init__(
+        self,
+        schedule: Optional[GasSchedule] = None,
+        parameters: Optional[ChainParameters] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        self.schedule = schedule or GasSchedule()
+        self.parameters = parameters or ChainParameters()
+        self.clock = clock or SimulatedClock()
+        self.ledger = GasLedger()
+        self.event_log = EventLog()
+        self.contracts: Dict[str, Contract] = {}
+        self.blocks: List[Block] = []
+        self.pending: List[Transaction] = []
+        self.receipts: Dict[int, TransactionReceipt] = {}
+        self._genesis()
+
+    # -- deployment and lookup ----------------------------------------------
+
+    def deploy(self, contract: Contract) -> Contract:
+        """Register a contract at its address (idempotent per address)."""
+        if contract.address in self.contracts:
+            raise ReproError(f"address {contract.address} already in use")
+        self.contracts[contract.address] = contract
+        contract.on_deploy(self)
+        return contract
+
+    def get_contract(self, address: str) -> Contract:
+        try:
+            return self.contracts[address]
+        except KeyError as exc:
+            raise ReproError(f"no contract deployed at {address}") from exc
+
+    # -- transaction lifecycle ------------------------------------------------
+
+    def submit(self, transaction: Transaction) -> Transaction:
+        """Queue a transaction for inclusion in the next block."""
+        transaction.submitted_at = self.clock.now
+        self.pending.append(transaction)
+        return transaction
+
+    def mine_block(self) -> Block:
+        """Produce one block containing every pending transaction.
+
+        The simulator's experiments control batching explicitly (the DO's
+        epoch batcher and the SP's deliver batching), so a block simply takes
+        the entire pending pool; the block gas limit is checked to surface
+        configuration errors rather than to split blocks.
+        """
+        self.clock.advance(self.parameters.block_interval)
+        parent_hash = self.blocks[-1].block_hash if self.blocks else EMPTY_DIGEST
+        block = Block(
+            number=len(self.blocks),
+            timestamp=self.clock.now,
+            parent_hash=parent_hash,
+        )
+        transactions, self.pending = self.pending, []
+        for index, transaction in enumerate(transactions):
+            receipt = self._execute(transaction, block.number, index)
+            block.receipts.append(receipt)
+            self.receipts[transaction.txid] = receipt
+            for event in receipt.events:
+                self.event_log.append(
+                    contract=event.contract,
+                    name=event.name,
+                    payload=event.payload,
+                    block_number=block.number,
+                    transaction_index=index,
+                )
+        if block.gas_used > self.parameters.block_gas_limit:
+            # Not fatal for experiments, but worth surfacing: the paper notes
+            # throughput is bounded by the block gas limit.
+            block_overflow = block.gas_used - self.parameters.block_gas_limit
+            self.ledger.by_category["block_gas_limit_overflow"] += block_overflow
+        self.blocks.append(block)
+        return block
+
+    def mine_until_finalized(self, block_number: int) -> None:
+        """Produce empty blocks until ``block_number`` is final."""
+        while self.height < block_number + self.parameters.finality_depth:
+            self.mine_block()
+
+    def execute_call(
+        self,
+        sender: str,
+        contract_address: str,
+        function: str,
+        *,
+        layer: str = LAYER_FEED,
+        gas_limit: Optional[int] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Execute a read-only (eth_call style) contract invocation.
+
+        Used by off-chain components to inspect contract state; it charges no
+        gas to the global ledger because it runs locally on a full node.
+        """
+        contract = self.get_contract(contract_address)
+        scratch_ledger = GasLedger()
+        meter = GasMeter(schedule=self.schedule, ledger=scratch_ledger, limit=gas_limit, layer=layer)
+        ctx = ExecutionContext(
+            sender=sender,
+            meter=meter,
+            block_number=self.height,
+            timestamp=self.clock.now,
+        )
+        method = getattr(contract, function)
+        return method(ctx, **kwargs)
+
+    def execute_internal_call(
+        self,
+        sender: str,
+        contract_address: str,
+        function: str,
+        *,
+        layer: str = LAYER_FEED,
+        gas_limit: Optional[int] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Execute a contract call as part of an already-paid-for transaction.
+
+        This is how the experiment drivers model a DU read: the DU contract is
+        being executed anyway inside an application transaction whose base
+        cost is not attributable to the data feed, so the feed-layer gas of a
+        read is the marginal gas of the ``gGet`` internal call.  The gas is
+        charged to the chain's global ledger and any emitted events are
+        appended to the event log immediately (the enclosing transaction is
+        committed within the current block).
+        """
+        contract = self.get_contract(contract_address)
+        meter = GasMeter(schedule=self.schedule, ledger=self.ledger, limit=gas_limit, layer=layer)
+        ctx = ExecutionContext(
+            sender=sender,
+            meter=meter,
+            block_number=self.height,
+            timestamp=self.clock.now,
+        )
+        method = getattr(contract, function)
+        result = method(ctx, **kwargs)
+        for event in ctx.emitted:
+            self.event_log.append(
+                contract=event.contract,
+                name=event.name,
+                payload=event.payload,
+                block_number=self.height,
+                transaction_index=0,
+            )
+        return result
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(
+        self, transaction: Transaction, block_number: int, index: int
+    ) -> TransactionReceipt:
+        contract = self.get_contract(transaction.contract)
+        meter = GasMeter(
+            schedule=self.schedule,
+            ledger=self.ledger,
+            limit=transaction.gas_limit or self.parameters.default_gas_limit,
+            layer=transaction.layer,
+        )
+        ctx = ExecutionContext(
+            sender=transaction.sender,
+            meter=meter,
+            block_number=block_number,
+            timestamp=self.clock.now,
+            value=transaction.value,
+        )
+        snapshot = contract.storage.snapshot()
+        error: Optional[str] = None
+        return_value: Any = None
+        success = True
+        try:
+            meter.charge(
+                self.schedule.transaction_cost(transaction.calldata_words),
+                "transaction",
+            )
+            method = getattr(contract, transaction.function, None)
+            if method is None:
+                raise ContractError(
+                    f"{transaction.contract} has no function {transaction.function!r}"
+                )
+            return_value = method(ctx, **transaction.args)
+        except (ContractError, OutOfGasError) as exc:
+            success = False
+            error = str(exc)
+            contract.storage.restore(snapshot)
+            ctx.emitted.clear()
+        events = [
+            LogEvent(
+                contract=event.contract,
+                name=event.name,
+                payload=event.payload,
+                block_number=block_number,
+                transaction_index=index,
+                log_index=-1,
+            )
+            for event in ctx.emitted
+        ]
+        finalized_at = (
+            self.clock.now
+            + self.parameters.propagation_delay
+            + self.parameters.block_interval * self.parameters.finality_depth
+        )
+        return TransactionReceipt(
+            transaction=transaction,
+            success=success,
+            gas_used=meter.used,
+            block_number=block_number,
+            transaction_index=index,
+            return_value=return_value,
+            error=error,
+            events=events,
+            finalized_at=finalized_at,
+        )
+
+    # -- chain state -----------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def latest_block(self) -> Optional[Block]:
+        return self.blocks[-1] if self.blocks else None
+
+    def is_finalized(self, block_number: int) -> bool:
+        """True once ``finality_depth`` blocks exist above ``block_number``."""
+        return self.height - 1 - block_number >= self.parameters.finality_depth
+
+    def finality_delay(self) -> float:
+        """Worst-case delay from submission to finality: ``Pt + B * F``."""
+        return (
+            self.parameters.propagation_delay
+            + self.parameters.block_interval * self.parameters.finality_depth
+        )
+
+    def receipt_for(self, txid: int) -> Optional[TransactionReceipt]:
+        return self.receipts.get(txid)
+
+    def _genesis(self) -> None:
+        genesis = Block(number=0, timestamp=self.clock.now, parent_hash=EMPTY_DIGEST)
+        self.blocks.append(genesis)

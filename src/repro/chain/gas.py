@@ -1,0 +1,243 @@
+"""The Ethereum gas schedule used throughout the reproduction.
+
+The constants follow Table 2 of the paper (which in turn follows the yellow
+paper), expressed per 32-byte word:
+
+==========================  =============================================
+Operation                   Gas
+==========================  =============================================
+Transaction                 ``21000 + 2176 * X`` for ``X`` calldata words
+Storage write (insert)      ``20000 * X``
+Storage write (update)      ``5000 * X``
+Storage read                ``200 * X``
+Hash computation            ``30 + 6 * X``
+==========================  =============================================
+
+The schedule also carries the LOG-event pricing (used by GRuB's ``request``
+events) and the optional storage-clear refund, which is off by default because
+the paper's cost model does not account for refunds; an ablation benchmark
+turns it on.
+
+:class:`GasLedger` attributes consumed gas to named categories and layers so
+experiments can report feed-layer versus application-layer gas the way the
+paper's Table 3 does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.common.encoding import words_for_bytes
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Per-operation gas pricing (Table 2 of the paper).
+
+    All ``*_per_word`` figures are charged per 32-byte word, rounding the
+    payload size up.
+    """
+
+    transaction_base: int = 21_000
+    transaction_word: int = 2_176
+    storage_insert_per_word: int = 20_000
+    storage_update_per_word: int = 5_000
+    storage_read_per_word: int = 200
+    storage_delete_base: int = 5_000
+    storage_refund_per_word: int = 15_000
+    hash_base: int = 30
+    hash_per_word: int = 6
+    log_base: int = 375
+    log_topic: int = 375
+    log_data_per_byte: int = 8
+    call_base: int = 700
+    memory_per_word: int = 3
+    refunds_enabled: bool = False
+
+    def transaction_cost(self, calldata_words: int) -> int:
+        """Intrinsic cost of a transaction carrying ``calldata_words`` words."""
+        if calldata_words < 0:
+            raise ValueError("calldata words must be non-negative")
+        return self.transaction_base + self.transaction_word * calldata_words
+
+    def transaction_cost_bytes(self, calldata_bytes: int) -> int:
+        return self.transaction_cost(words_for_bytes(calldata_bytes))
+
+    def storage_insert_cost(self, words: int) -> int:
+        return self.storage_insert_per_word * max(0, words)
+
+    def storage_update_cost(self, words: int) -> int:
+        return self.storage_update_per_word * max(0, words)
+
+    def storage_read_cost(self, words: int) -> int:
+        return self.storage_read_per_word * max(0, words)
+
+    def storage_delete_cost(self) -> int:
+        return self.storage_delete_base
+
+    def storage_refund(self, words: int) -> int:
+        """Refund credited when a slot is cleared (0 unless refunds are enabled)."""
+        if not self.refunds_enabled:
+            return 0
+        return self.storage_refund_per_word * max(0, words)
+
+    def hash_cost(self, words: int) -> int:
+        return self.hash_base + self.hash_per_word * max(0, words)
+
+    def log_cost(self, num_topics: int, data_bytes: int) -> int:
+        return (
+            self.log_base
+            + self.log_topic * max(0, num_topics)
+            + self.log_data_per_byte * max(0, data_bytes)
+        )
+
+    def call_cost(self) -> int:
+        return self.call_base
+
+    def memory_cost(self, words: int) -> int:
+        return self.memory_per_word * max(0, words)
+
+    @property
+    def replication_threshold_k(self) -> int:
+        """The paper's Equation 1: ``K = C_update / C_read_off`` (word units).
+
+        ``C_update`` is the per-word cost of updating on-chain storage and
+        ``C_read_off`` the per-word cost of moving a word on chain in calldata.
+        With the default schedule this is ``5000 / 2176 ≈ 2``, the value the
+        paper uses for its 2-competitive configuration.
+        """
+        return max(1, round(self.storage_update_per_word / self.transaction_word))
+
+    def with_refunds(self) -> "GasSchedule":
+        """Return a copy of the schedule with storage-clear refunds enabled."""
+        return GasSchedule(
+            transaction_base=self.transaction_base,
+            transaction_word=self.transaction_word,
+            storage_insert_per_word=self.storage_insert_per_word,
+            storage_update_per_word=self.storage_update_per_word,
+            storage_read_per_word=self.storage_read_per_word,
+            storage_delete_base=self.storage_delete_base,
+            storage_refund_per_word=self.storage_refund_per_word,
+            hash_base=self.hash_base,
+            hash_per_word=self.hash_per_word,
+            log_base=self.log_base,
+            log_topic=self.log_topic,
+            log_data_per_byte=self.log_data_per_byte,
+            call_base=self.call_base,
+            memory_per_word=self.memory_per_word,
+            refunds_enabled=True,
+        )
+
+
+#: Gas-attribution layer for the data-feed protocol itself.
+LAYER_FEED = "feed"
+#: Gas-attribution layer for application logic built on the feed.
+LAYER_APPLICATION = "application"
+
+
+@dataclass
+class GasLedger:
+    """Accumulates gas charges attributed to categories and layers.
+
+    Categories are free-form strings such as ``"transaction"``, ``"sstore"``,
+    ``"sload"``, ``"hash"``, ``"log"``; layers distinguish the data-feed
+    protocol from application logic running in DU callbacks.
+    """
+
+    total: int = 0
+    refunded: int = 0
+    by_category: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    by_layer: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def charge(self, amount: int, category: str, layer: str = LAYER_FEED) -> int:
+        """Record ``amount`` gas against ``category`` within ``layer``."""
+        if amount < 0:
+            raise ValueError("gas charges must be non-negative")
+        self.total += amount
+        self.by_category[category] += amount
+        self.by_layer[layer] += amount
+        return amount
+
+    def refund(self, amount: int, layer: str = LAYER_FEED) -> int:
+        """Record a refund (subtracted from the layer and grand totals)."""
+        if amount < 0:
+            raise ValueError("refunds must be non-negative")
+        self.refunded += amount
+        self.total -= amount
+        self.by_layer[layer] -= amount
+        return amount
+
+    def layer_total(self, layer: str) -> int:
+        return self.by_layer.get(layer, 0)
+
+    @property
+    def feed_total(self) -> int:
+        return self.layer_total(LAYER_FEED)
+
+    @property
+    def application_total(self) -> int:
+        return self.layer_total(LAYER_APPLICATION)
+
+    def snapshot(self) -> "GasLedgerSnapshot":
+        """Capture the current totals so a caller can later compute a delta."""
+        return GasLedgerSnapshot(
+            total=self.total,
+            by_layer=dict(self.by_layer),
+            by_category=dict(self.by_category),
+        )
+
+    def merge(self, other: "GasLedger") -> None:
+        """Fold another ledger's charges into this one."""
+        self.total += other.total
+        self.refunded += other.refunded
+        for category, amount in other.by_category.items():
+            self.by_category[category] += amount
+        for layer, amount in other.by_layer.items():
+            self.by_layer[layer] += amount
+
+
+@dataclass(frozen=True)
+class GasLedgerSnapshot:
+    """Immutable capture of a :class:`GasLedger` used for delta accounting."""
+
+    total: int
+    by_layer: Mapping[str, int]
+    by_category: Mapping[str, int]
+
+    def delta(self, ledger: GasLedger) -> "GasDelta":
+        layers = {
+            layer: ledger.by_layer.get(layer, 0) - self.by_layer.get(layer, 0)
+            for layer in set(ledger.by_layer) | set(self.by_layer)
+        }
+        categories = {
+            cat: ledger.by_category.get(cat, 0) - self.by_category.get(cat, 0)
+            for cat in set(ledger.by_category) | set(self.by_category)
+        }
+        return GasDelta(total=ledger.total - self.total, by_layer=layers, by_category=categories)
+
+
+@dataclass(frozen=True)
+class GasDelta:
+    """Gas consumed between two snapshots."""
+
+    total: int
+    by_layer: Mapping[str, int]
+    by_category: Mapping[str, int]
+
+    def layer(self, name: str) -> int:
+        return self.by_layer.get(name, 0)
+
+
+def summarise_categories(ledgers: Iterable[GasLedger]) -> Dict[str, int]:
+    """Aggregate the per-category totals of several ledgers (for reports)."""
+    combined: Dict[str, int] = defaultdict(int)
+    for ledger in ledgers:
+        for category, amount in ledger.by_category.items():
+            combined[category] += amount
+    return dict(combined)
+
+
+DEFAULT_SCHEDULE: Optional[GasSchedule] = GasSchedule()
+"""Module-level default schedule; components copy it rather than mutate it."""

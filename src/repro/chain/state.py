@@ -1,0 +1,115 @@
+"""Gas-metered smart-contract storage.
+
+Each contract owns a :class:`ContractStorage`: a mapping from string slots to
+byte values where every access is charged according to the gas schedule —
+inserts at the (expensive) ``SSTORE`` insert price, overwrites at the update
+price, reads at the ``SLOAD`` price, and deletes at the delete price with an
+optional refund.  This is the component whose pricing asymmetry drives the
+whole GRuB design: keeping a replica on chain makes reads cheap and writes
+expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.chain.vm import GasMeter
+from repro.common.encoding import encode_value, words_for_bytes, Value
+
+
+@dataclass
+class ContractStorage:
+    """Persistent key-value storage of one simulated contract."""
+
+    slots: Dict[str, bytes] = field(default_factory=dict)
+    writes: int = 0
+    reads: int = 0
+    deletes: int = 0
+
+    def store(self, meter: GasMeter, slot: str, value: Value) -> None:
+        """Write ``value`` into ``slot`` charging insert or update pricing."""
+        encoded = encode_value(value)
+        words = max(1, words_for_bytes(len(encoded)))
+        schedule = meter.schedule
+        if slot in self.slots:
+            meter.charge(schedule.storage_update_cost(words), "sstore_update")
+        else:
+            meter.charge(schedule.storage_insert_cost(words), "sstore_insert")
+        self.slots[slot] = encoded
+        self.writes += 1
+
+    def store_reusing(self, meter: GasMeter, slot: str, value: Value) -> None:
+        """Write ``value`` into ``slot`` at storage-update pricing even if new.
+
+        Models the "reusable storage" configuration of the paper's BtcRelay
+        experiment: the contract keeps a pool of previously allocated replica
+        slots and recycles one for each new replica, so the write touches an
+        already-allocated slot (update price) rather than claiming a fresh one
+        (insert price).  The caller is responsible for only using this when a
+        recycled slot is actually available.
+        """
+        encoded = encode_value(value)
+        words = max(1, words_for_bytes(len(encoded)))
+        meter.charge(meter.schedule.storage_update_cost(words), "sstore_update")
+        self.slots[slot] = encoded
+        self.writes += 1
+
+    def load(self, meter: GasMeter, slot: str) -> Optional[bytes]:
+        """Read ``slot``; a miss still charges a one-word ``SLOAD``."""
+        value = self.slots.get(slot)
+        words = max(1, words_for_bytes(len(value))) if value is not None else 1
+        meter.charge(meter.schedule.storage_read_cost(words), "sload")
+        self.reads += 1
+        return value
+
+    def contains(self, meter: GasMeter, slot: str) -> bool:
+        """Existence check priced as a one-word read."""
+        meter.charge(meter.schedule.storage_read_cost(1), "sload")
+        self.reads += 1
+        return slot in self.slots
+
+    def delete(self, meter: GasMeter, slot: str) -> bool:
+        """Clear ``slot``; charges the delete cost and credits any refund."""
+        if slot not in self.slots:
+            return False
+        words = max(1, words_for_bytes(len(self.slots[slot])))
+        meter.charge(meter.schedule.storage_delete_cost(), "sstore_delete")
+        refund = meter.schedule.storage_refund(words)
+        if refund:
+            meter.refund(refund)
+        del self.slots[slot]
+        self.deletes += 1
+        return True
+
+    # -- unmetered helpers -------------------------------------------------
+    #
+    # The methods below read state without charging gas.  They are used by
+    # off-chain components (the SP watchdog, experiment analysis) that inspect
+    # contract state through their own full node, which costs no gas.
+
+    def peek(self, slot: str) -> Optional[bytes]:
+        """Unmetered read (off-chain observation of public contract state)."""
+        return self.slots.get(slot)
+
+    def has(self, slot: str) -> bool:
+        """Unmetered existence check."""
+        return slot in self.slots
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        return iter(self.slots.items())
+
+    def size_words(self) -> int:
+        """Total number of words currently occupied (for reports)."""
+        return sum(max(1, words_for_bytes(len(v))) for v in self.slots.values())
+
+    def snapshot(self) -> Dict[str, bytes]:
+        """Copy of the slots, used by the chain to roll back reverted calls."""
+        return dict(self.slots)
+
+    def restore(self, snapshot: Dict[str, bytes]) -> None:
+        """Restore a snapshot taken before a reverted call."""
+        self.slots = dict(snapshot)

@@ -1,0 +1,101 @@
+"""Gas metering and execution contexts for the simulated EVM.
+
+The simulator does not interpret bytecode; contracts are Python classes whose
+methods charge gas explicitly through the :class:`GasMeter` carried by the
+:class:`ExecutionContext` of the transaction (or internal call) being
+executed.  This keeps the gas accounting faithful to the schedule while
+leaving contract logic readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.chain.gas import GasLedger, GasSchedule, LAYER_FEED
+from repro.common.errors import OutOfGasError
+
+
+@dataclass
+class GasMeter:
+    """Meters gas for a single execution (transaction or internal call).
+
+    The meter both enforces a limit (raising :class:`OutOfGasError` when the
+    limit would be exceeded) and attributes every charge to the blockchain's
+    global :class:`GasLedger` so experiments can aggregate by category/layer.
+    """
+
+    schedule: GasSchedule
+    ledger: GasLedger
+    limit: Optional[int] = None
+    used: int = 0
+    layer: str = LAYER_FEED
+
+    def charge(self, amount: int, category: str, layer: Optional[str] = None) -> int:
+        """Consume ``amount`` gas, attributing it to ``category``."""
+        if amount < 0:
+            raise ValueError("gas charges must be non-negative")
+        if self.limit is not None and self.used + amount > self.limit:
+            raise OutOfGasError(requested=amount, remaining=self.limit - self.used)
+        self.used += amount
+        self.ledger.charge(amount, category, layer or self.layer)
+        return amount
+
+    def refund(self, amount: int, layer: Optional[str] = None) -> int:
+        """Credit a refund (only effective when the schedule enables refunds)."""
+        if amount <= 0:
+            return 0
+        self.used = max(0, self.used - amount)
+        self.ledger.refund(amount, layer or self.layer)
+        return amount
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.limit is None:
+            return None
+        return self.limit - self.used
+
+
+@dataclass
+class ExecutionContext:
+    """Context threaded through contract calls within one transaction.
+
+    Mirrors the pieces of the EVM environment GRuB's contracts need:
+    ``msg.sender``, the gas meter, the block number/timestamp at execution
+    time, and the list of log events emitted so far (flushed into the block's
+    receipts when the transaction completes).
+    """
+
+    sender: str
+    meter: GasMeter
+    block_number: int = 0
+    timestamp: float = 0.0
+    value: int = 0
+    call_depth: int = 0
+    emitted: List["LogEvent"] = field(default_factory=list)  # noqa: F821 - forward ref
+
+    def child(self, sender: str, layer: Optional[str] = None) -> "ExecutionContext":
+        """Create the context for an internal call made by ``sender``.
+
+        Internal calls share the same gas meter (the EVM model of a nested
+        call within the same transaction) and inherit block metadata.  The
+        attribution layer can be overridden so application callbacks charge to
+        the application layer while the feed protocol charges to the feed
+        layer.
+        """
+        meter = self.meter
+        if layer is not None and layer != meter.layer:
+            meter = GasMeter(
+                schedule=self.meter.schedule,
+                ledger=self.meter.ledger,
+                limit=None,
+                layer=layer,
+            )
+        return ExecutionContext(
+            sender=sender,
+            meter=meter,
+            block_number=self.block_number,
+            timestamp=self.timestamp,
+            call_depth=self.call_depth + 1,
+            emitted=self.emitted,
+        )

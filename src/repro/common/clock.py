@@ -1,0 +1,65 @@
+"""A deterministic simulated clock.
+
+The consistency analysis in the paper (Theorems 3.1/3.2, Appendix E) reasons
+about a hypothetical global clock shared by the data owner and every
+blockchain node.  The simulator makes that clock explicit: every component
+that needs time (epoch batching on the DO, block production, transaction
+propagation, finality) reads the same :class:`SimulatedClock` so experiments
+are fully deterministic and the freshness bounds can be checked exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+
+@dataclass
+class SimulatedClock:
+    """Monotonic simulated time in abstract seconds."""
+
+    now: float = 0.0
+    _scheduled: List[Tuple[float, int, Callable[[], None]]] = field(
+        default_factory=list, repr=False
+    )
+    _sequence: int = 0
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward, firing any callbacks scheduled in the interval.
+
+        Callbacks fire in timestamp order (ties broken by scheduling order) and
+        may themselves schedule further callbacks, which also fire if they fall
+        within the interval being advanced over.
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        target = self.now + seconds
+        while True:
+            due = [entry for entry in self._scheduled if entry[0] <= target]
+            if not due:
+                break
+            due.sort()
+            timestamp, _, callback = due[0]
+            self._scheduled.remove(due[0])
+            self.now = max(self.now, timestamp)
+            callback()
+        self.now = target
+        return self.now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        self._sequence += 1
+        self._scheduled.append((self.now + delay, self._sequence, callback))
+
+    @property
+    def pending(self) -> int:
+        """Number of callbacks that have not fired yet."""
+        return len(self._scheduled)
+
+    def reset(self) -> None:
+        """Reset time to zero and drop all scheduled callbacks."""
+        self.now = 0.0
+        self._scheduled.clear()
+        self._sequence = 0

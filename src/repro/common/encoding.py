@@ -1,0 +1,79 @@
+"""Word-level size accounting and value encoding.
+
+Ethereum's gas schedule charges per 32-byte *word* (calldata, storage slots,
+hash input).  Every component that needs to know "how many words does this
+value occupy" goes through this module so the accounting is consistent across
+the chain simulator, the ADS layer and the GRuB protocol.
+
+Values flowing through GRuB are either ``bytes``, ``str`` or non-negative
+``int``; :func:`encode_value` normalises them to ``bytes`` before sizing or
+hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Value = Union[bytes, str, int]
+
+WORD_SIZE_BYTES = 32
+"""Size of an EVM word in bytes; the unit of the gas schedule in Table 2."""
+
+
+def words_for_bytes(num_bytes: int) -> int:
+    """Return the number of 32-byte words needed to hold ``num_bytes`` bytes.
+
+    Partial words round up, matching how the EVM charges calldata and storage.
+    Zero bytes occupy zero words.
+    """
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return (num_bytes + WORD_SIZE_BYTES - 1) // WORD_SIZE_BYTES
+
+
+def encode_value(value: Value) -> bytes:
+    """Normalise a value to its byte representation.
+
+    * ``bytes`` pass through untouched,
+    * ``str`` is UTF-8 encoded,
+    * non-negative ``int`` is big-endian encoded in the minimal number of
+      bytes (at least one word so that an integer price always occupies a
+      single storage slot, as it would in Solidity).
+    """
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError("only non-negative integers can be encoded")
+        length = max(WORD_SIZE_BYTES, (value.bit_length() + 7) // 8)
+        return value.to_bytes(length, "big")
+    raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(data: bytes, kind: type = bytes) -> Value:
+    """Decode bytes previously produced by :func:`encode_value`.
+
+    ``kind`` selects the target type (``bytes``, ``str`` or ``int``).
+    """
+    if kind is bytes:
+        return data
+    if kind is str:
+        return data.decode("utf-8")
+    if kind is int:
+        return int.from_bytes(data, "big")
+    raise TypeError(f"cannot decode to type {kind!r}")
+
+
+def words_for_value(value: Value) -> int:
+    """Number of 32-byte words a value occupies once encoded."""
+    return words_for_bytes(len(encode_value(value)))
+
+
+def pad_to_word(data: bytes) -> bytes:
+    """Right-pad ``data`` with zero bytes to a whole number of words."""
+    remainder = len(data) % WORD_SIZE_BYTES
+    if remainder == 0:
+        return data
+    return data + b"\x00" * (WORD_SIZE_BYTES - remainder)

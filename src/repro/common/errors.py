@@ -1,0 +1,56 @@
+"""Exception hierarchy for the GRuB reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so callers
+can catch a single base class at system boundaries (examples, benchmarks) while
+tests can assert on the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class IntegrityError(ReproError):
+    """Raised when an authenticated-data-structure check fails.
+
+    This is the error the storage-manager contract raises when the untrusted
+    storage provider presents a record, proof or digest that does not verify
+    against the on-chain root hash (forged, replayed, omitted or forked data).
+    """
+
+
+class FreshnessError(ReproError):
+    """Raised when a query result violates the epoch-bounded freshness guarantee."""
+
+
+class OutOfGasError(ReproError):
+    """Raised when a metered execution exceeds its gas allowance."""
+
+    def __init__(self, requested: int, remaining: int) -> None:
+        super().__init__(
+            f"out of gas: requested {requested} with only {remaining} remaining"
+        )
+        self.requested = requested
+        self.remaining = remaining
+
+
+class StorageError(ReproError):
+    """Raised by the off-chain key-value store on invalid operations."""
+
+
+class ContractError(ReproError):
+    """Raised when a simulated smart contract reverts.
+
+    Mirrors a Solidity ``revert``: the enclosing transaction is aborted and its
+    state changes are rolled back by the chain simulator.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system or algorithm is configured with invalid parameters."""
+
+
+class UnknownKeyError(StorageError, KeyError):
+    """Raised when a key is looked up that neither the SP nor the chain holds."""

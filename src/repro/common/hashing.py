@@ -1,0 +1,76 @@
+"""Hashing helpers shared by the ADS layer and the chain simulator.
+
+The real system uses keccak-256 inside the EVM and SHA-256 off chain; for the
+reproduction both are modelled with SHA-256 (the security argument only needs a
+collision-resistant hash).  The helper names keep the EVM terminology so the
+contract code reads naturally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Iterable
+
+from repro.common.encoding import Value, encode_value
+
+DIGEST_SIZE_BYTES = 32
+EMPTY_DIGEST = b"\x00" * DIGEST_SIZE_BYTES
+
+
+def keccak(data: bytes) -> bytes:
+    """Hash ``data`` to a 32-byte digest (SHA-256 stands in for keccak-256)."""
+    return hashlib.sha256(data).digest()
+
+
+def hash_pair(left: bytes, right: bytes) -> bytes:
+    """Hash two child digests into a parent digest (Merkle interior node)."""
+    return keccak(left + right)
+
+
+def hash_words(*values: Value) -> bytes:
+    """Hash a sequence of values after normalising each to bytes.
+
+    A length prefix is added per field so that ``hash_words(b"ab", b"c")`` and
+    ``hash_words(b"a", b"bc")`` differ (no ambiguity attacks on the leaf
+    encoding).
+    """
+    hasher = hashlib.sha256()
+    for value in values:
+        encoded = encode_value(value)
+        hasher.update(len(encoded).to_bytes(8, "big"))
+        hasher.update(encoded)
+    return hasher.digest()
+
+
+def hash_record(key: Value, value: Value, state_prefix: str) -> bytes:
+    """Hash a GRuB KV record leaf: ``(replication-state prefix, key, value)``.
+
+    The replication state is part of the authenticated payload because GRuB
+    prefixes every data key with its R/NR bit (Section 3.2 of the paper).
+    """
+    return hash_words(state_prefix, key, value)
+
+
+def combine_digests(digests: Iterable[bytes]) -> bytes:
+    """Fold an iterable of digests into one (used for epoch-level summaries)."""
+    hasher = hashlib.sha256()
+    for digest in digests:
+        hasher.update(digest)
+    return hasher.digest()
+
+
+def sign_digest(secret_key: bytes, digest: bytes) -> bytes:
+    """Produce the data owner's signature over a root digest.
+
+    An HMAC stands in for the ECDSA signature the prototype would use; the
+    property the protocol needs is that only the holder of ``secret_key`` can
+    produce a value that verifies.
+    """
+    return hmac.new(secret_key, digest, hashlib.sha256).digest()
+
+
+def verify_signature(secret_key: bytes, digest: bytes, signature: bytes) -> bool:
+    """Check a signature produced by :func:`sign_digest` (constant time)."""
+    expected = sign_digest(secret_key, digest)
+    return hmac.compare_digest(expected, signature)

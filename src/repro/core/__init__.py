@@ -1,0 +1,57 @@
+"""The GRuB core: workload-adaptive data replication between chain and cloud.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.decision` — the online replication decision algorithms
+  (memoryless Algorithm 1, memorizing Algorithm 2, the adaptive-K heuristics
+  of Appendix C.3, the offline optimal used as the competitiveness yardstick,
+  and the static always/never policies used by the baselines),
+* :mod:`repro.core.control_plane` — workload monitor, algorithm executor and
+  decision actuator running on the trusted data owner,
+* :mod:`repro.core.data_plane` — the write path (epoch-batched ``gPuts`` with
+  ADS updates) and the read path (``gGet`` with request events and SP
+  ``deliver`` transactions),
+* :mod:`repro.core.storage_manager` — the on-chain storage-manager contract
+  (the paper's Listing 2),
+* :mod:`repro.core.grub` / :mod:`repro.core.baselines` — end-to-end system
+  facades for GRuB and the static/dynamic baselines BL1, BL2, BL3, BL4,
+* :mod:`repro.core.consistency` — the epoch/finality timing model behind the
+  freshness guarantees (Theorems 3.1/3.2).
+"""
+
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem, RunReport
+from repro.core.baselines import (
+    NoReplicationSystem,
+    AlwaysReplicateSystem,
+    OnChainTraceSystem,
+    OnChainReadTraceSystem,
+)
+from repro.core.storage_manager import StorageManagerContract
+from repro.core.data_consumer import DataConsumerContract
+from repro.core.decision import (
+    DecisionAlgorithm,
+    MemorylessAlgorithm,
+    MemorizingAlgorithm,
+    AdaptiveKAlgorithm,
+    OfflineOptimalAlgorithm,
+    StaticAlgorithm,
+)
+
+__all__ = [
+    "GrubConfig",
+    "GrubSystem",
+    "RunReport",
+    "NoReplicationSystem",
+    "AlwaysReplicateSystem",
+    "OnChainTraceSystem",
+    "OnChainReadTraceSystem",
+    "StorageManagerContract",
+    "DataConsumerContract",
+    "DecisionAlgorithm",
+    "MemorylessAlgorithm",
+    "MemorizingAlgorithm",
+    "AdaptiveKAlgorithm",
+    "OfflineOptimalAlgorithm",
+    "StaticAlgorithm",
+]

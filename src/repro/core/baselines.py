@@ -1,0 +1,93 @@
+"""The static and dynamic baselines the paper compares GRuB against.
+
+* **BL1** (:class:`NoReplicationSystem`) — data only on the off-chain SP;
+  every read pays the request/deliver path.
+* **BL2** (:class:`AlwaysReplicateSystem`) — every record also on chain;
+  every write pays calldata plus the contract storage update.
+* **BL3** (:class:`OnChainTraceSystem`) — dynamic replication whose
+  decision-making state (the read *and* write trace) is kept in contract
+  storage, paying storage gas per operation; the paper's Figure 7 uses it to
+  motivate running the decision components off chain.
+* **BL4** (:class:`OnChainReadTraceSystem`) — the lighter on-chain-trace
+  variant that only keeps read counters on chain.
+
+All four reuse the exact GRuB plumbing (storage manager, SP, DO, epoch loop);
+only the decision algorithm and — for BL3/BL4 — the storage manager's
+on-chain trace tracking differ, so gas differences are attributable purely to
+the replication policy, as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.common.types import KVRecord
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem
+
+
+class NoReplicationSystem(GrubSystem):
+    """BL1: never replicate; all reads are served off chain with proofs."""
+
+    name = "BL1 (no replica)"
+
+    def __init__(
+        self,
+        config: Optional[GrubConfig] = None,
+        consumer_factory=None,
+        preload: Optional[Sequence[KVRecord]] = None,
+    ) -> None:
+        config = (config or GrubConfig()).with_algorithm("never")
+        super().__init__(config, consumer_factory=consumer_factory, preload=preload)
+
+
+class AlwaysReplicateSystem(GrubSystem):
+    """BL2: always replicate; every record lives in contract storage."""
+
+    name = "BL2 (always replicate)"
+
+    def __init__(
+        self,
+        config: Optional[GrubConfig] = None,
+        consumer_factory=None,
+        preload: Optional[Sequence[KVRecord]] = None,
+    ) -> None:
+        config = (config or GrubConfig()).with_algorithm("always")
+        super().__init__(config, consumer_factory=consumer_factory, preload=preload)
+
+
+class OnChainTraceSystem(GrubSystem):
+    """BL3: GRuB-style decisions, but the full trace is stored on chain."""
+
+    name = "BL3 (dynamic, on-chain trace)"
+
+    def _trace_mode(self) -> str:
+        return "reads+writes"
+
+
+class OnChainReadTraceSystem(GrubSystem):
+    """BL4: GRuB-style decisions with only the read trace stored on chain."""
+
+    name = "BL4 (dynamic, on-chain read trace)"
+
+    def _trace_mode(self) -> str:
+        return "reads"
+
+
+def build_system(name: str, config: Optional[GrubConfig] = None, **kwargs) -> GrubSystem:
+    """Factory mapping the paper's baseline names to system classes.
+
+    Accepted names: ``"grub"``, ``"bl1"``, ``"bl2"``, ``"bl3"``, ``"bl4"``.
+    """
+    normalized = name.strip().lower()
+    if normalized in ("grub", "g"):
+        return GrubSystem(config, **kwargs)
+    if normalized in ("bl1", "no-replica", "never"):
+        return NoReplicationSystem(config, **kwargs)
+    if normalized in ("bl2", "always", "always-replicate"):
+        return AlwaysReplicateSystem(config, **kwargs)
+    if normalized in ("bl3", "on-chain-trace"):
+        return OnChainTraceSystem(config, **kwargs)
+    if normalized in ("bl4", "on-chain-read-trace"):
+        return OnChainReadTraceSystem(config, **kwargs)
+    raise ValueError(f"unknown system name {name!r}")

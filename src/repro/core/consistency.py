@@ -1,0 +1,87 @@
+"""The consistency / freshness model (Section 3.4 and Appendix E of the paper).
+
+The guarantees GRuB provides between ``gPut`` and ``gGet`` are stated in terms
+of four timing parameters:
+
+* ``E`` — the epoch length (how long the DO buffers updates before sending the
+  batched ``update`` transaction),
+* ``Pt`` — the time it takes a submitted transaction to propagate to every
+  node,
+* ``B`` — the average block interval, and
+* ``F`` — the number of blocks after which a transaction is considered final.
+
+Two regimes follow:
+
+* **concurrent** operations (a ``gGet`` executed within ``E + Pt + B*F`` of a
+  ``gPut`` on the same key) have non-deterministic but eventually consistent
+  ordering — whichever order the chain serialises them in, every node agrees
+  once the involved transactions are final (Theorem 3.1 / E.1);
+* **sequential** operations (a ``gGet`` at least ``E + Pt + B*F`` after the
+  ``gPut``) are guaranteed to observe the update: epoch-bounded freshness
+  (Theorem 3.2 / E.2).
+
+This module packages those bounds so the system facade can stamp operations
+with the regime they fall into and the tests can check the theorems against
+the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.chain.chain import ChainParameters
+
+
+class OrderingRegime(Enum):
+    """Which consistency statement applies to a gPut/gGet pair."""
+
+    CONCURRENT = "concurrent"
+    SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """Freshness and ordering bounds derived from the timing parameters."""
+
+    epoch_seconds: float
+    chain: ChainParameters
+
+    @property
+    def finality_delay(self) -> float:
+        """``Pt + B * F``: submission-to-finality latency of one transaction."""
+        return (
+            self.chain.propagation_delay
+            + self.chain.block_interval * self.chain.finality_depth
+        )
+
+    @property
+    def freshness_bound(self) -> float:
+        """``E + Pt + B * F``: the worst-case staleness a sequential gGet can see.
+
+        An update produced at time ``t`` is included in the epoch batch by
+        ``t + E``, propagates by ``t + E + Pt`` and is final by
+        ``t + E + Pt + B*F``; any gGet executed after that instant observes it
+        (Theorem 3.2).
+        """
+        return self.epoch_seconds + self.finality_delay
+
+    def classify(self, put_time: float, get_time: float) -> OrderingRegime:
+        """Classify a gPut/gGet pair into the concurrent or sequential regime."""
+        if get_time < put_time:
+            return OrderingRegime.CONCURRENT
+        if get_time - put_time < self.freshness_bound:
+            return OrderingRegime.CONCURRENT
+        return OrderingRegime.SEQUENTIAL
+
+    def guarantees_freshness(self, put_time: float, get_time: float) -> bool:
+        """True when Theorem 3.2 guarantees the gGet observes the gPut."""
+        return self.classify(put_time, get_time) is OrderingRegime.SEQUENTIAL
+
+    def immediate_feed_freshness(self) -> float:
+        """Freshness of the BL2-style unbatched feed: ``Pt + B * F``.
+
+        The paper notes delay-sensitive applications can opt individual
+        updates out of batching, recovering the unbatched bound.
+        """
+        return self.finality_delay

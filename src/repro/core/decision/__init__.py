@@ -1,0 +1,45 @@
+"""Online replication decision algorithms (the GRuB control-plane brain).
+
+All algorithms consume a trace of read/write operations and maintain, per data
+key, a replication decision (R or NR).  They share the
+:class:`~repro.core.decision.base.DecisionAlgorithm` interface so the control
+plane, the baselines and the experiment runners can swap them freely:
+
+* :class:`MemorylessAlgorithm` — the paper's Algorithm 1: count consecutive
+  reads since the last write and replicate once the count reaches K; any
+  write resets the record to NR.  2-competitive when K follows Equation 1.
+* :class:`MemorizingAlgorithm` — the paper's Algorithm 2: long-run read and
+  write counters with a hysteresis window D, (4D+2)/K'-competitive.
+* :class:`AdaptiveKAlgorithm` — the Appendix C.3 heuristics that re-estimate
+  K from recent history (policy K1 assumes the future repeats the past,
+  policy K2 assumes it does not).
+* :class:`OfflineOptimalAlgorithm` — clairvoyant baseline that sees the whole
+  trace and picks the cheaper placement for every inter-write interval; used
+  to measure competitiveness (Figure 8a).
+* :class:`StaticAlgorithm` — the degenerate always-replicate / never-replicate
+  policies backing baselines BL2 and BL1.
+"""
+
+from repro.core.decision.base import (
+    CostModel,
+    Decision,
+    DecisionAlgorithm,
+    make_algorithm,
+)
+from repro.core.decision.memoryless import MemorylessAlgorithm
+from repro.core.decision.memorizing import MemorizingAlgorithm
+from repro.core.decision.adaptive import AdaptiveKAlgorithm
+from repro.core.decision.offline import OfflineOptimalAlgorithm
+from repro.core.decision.static import StaticAlgorithm
+
+__all__ = [
+    "CostModel",
+    "Decision",
+    "DecisionAlgorithm",
+    "make_algorithm",
+    "MemorylessAlgorithm",
+    "MemorizingAlgorithm",
+    "AdaptiveKAlgorithm",
+    "OfflineOptimalAlgorithm",
+    "StaticAlgorithm",
+]

@@ -1,0 +1,88 @@
+"""The clairvoyant offline optimal algorithm.
+
+Used only as the yardstick in the competitiveness analysis and in Figure 8a:
+the algorithm sees the whole future trace, so for every write it can count how
+many reads will follow before the next write of the same key and place the
+record optimally for that interval:
+
+* if the upcoming reads would cost more to serve off chain than the one-time
+  storage update, replicate at the time of the write;
+* otherwise leave the record off chain.
+
+The decision for an interval is therefore ``replicate iff
+reads_in_interval * C_read_off >= C_update`` (per word), which is exactly the
+comparison the online algorithms approximate without knowing the future.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.types import Operation, ReplicationState
+from repro.core.decision.base import CostModel, Decision, DecisionAlgorithm
+
+
+class OfflineOptimalAlgorithm(DecisionAlgorithm):
+    """Optimal per-interval placement computed from the full future trace."""
+
+    name = "offline-optimal"
+
+    def __init__(self, cost_model: CostModel, trace: Sequence[Operation]) -> None:
+        super().__init__()
+        self.cost_model = cost_model
+        self._future_reads: Dict[str, List[int]] = {}
+        self._write_cursor: Dict[str, int] = defaultdict(int)
+        self._precompute(list(trace))
+
+    def _precompute(self, trace: List[Operation]) -> None:
+        """For every write in the trace, count the reads before the next write."""
+        reads_between: Dict[str, List[int]] = defaultdict(list)
+        open_interval: Dict[str, int] = {}
+        for op in trace:
+            if op.is_write:
+                if op.key in open_interval:
+                    reads_between[op.key].append(open_interval[op.key])
+                open_interval[op.key] = 0
+            else:
+                if op.key in open_interval:
+                    open_interval[op.key] += 1
+                else:
+                    # Reads before the first write of a key belong to a
+                    # virtual interval opened by the preloaded value.
+                    reads_between.setdefault(op.key, [])
+                    open_interval[op.key] = 1
+        for key, count in open_interval.items():
+            reads_between[key].append(count)
+        self._future_reads = dict(reads_between)
+
+    def _interval_decision(self, key: str, interval_index: int) -> ReplicationState:
+        intervals = self._future_reads.get(key, [])
+        if interval_index >= len(intervals):
+            return ReplicationState.NOT_REPLICATED
+        reads = intervals[interval_index]
+        replicate = (
+            reads * self.cost_model.off_chain_read_cost >= self.cost_model.update_cost
+        )
+        return (
+            ReplicationState.REPLICATED if replicate else ReplicationState.NOT_REPLICATED
+        )
+
+    def observe(self, operations: Iterable[Operation]) -> List[Decision]:
+        changed: List[Decision] = []
+        for op in operations:
+            key = op.key
+            if op.is_write:
+                decision = self._interval_decision(key, self._write_cursor[key])
+                self._write_cursor[key] += 1
+                self._set_state(key, decision, changed)
+            else:
+                if key not in self._states:
+                    # First touch is a read: the preload interval's decision.
+                    decision = self._interval_decision(key, 0)
+                    self._set_state(key, decision, changed)
+        return changed
+
+    def reset(self) -> None:
+        super().reset()
+        self._write_cursor.clear()

@@ -1,0 +1,34 @@
+"""Static (workload-oblivious) replication policies.
+
+These back the paper's two static baselines: BL1 never replicates (data lives
+only on the SP; every read is served by a deliver transaction) and BL2 always
+replicates (every record also lives in contract storage; every write pays the
+on-chain storage update).  Expressing them as decision algorithms lets the
+baselines reuse the exact same data plane as GRuB, so the gas comparison is an
+apples-to-apples comparison of *decisions*, not of plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.common.types import Operation, ReplicationState
+from repro.core.decision.base import Decision, DecisionAlgorithm
+
+
+class StaticAlgorithm(DecisionAlgorithm):
+    """Always answer with one fixed replication state for every key."""
+
+    def __init__(self, state: ReplicationState) -> None:
+        super().__init__()
+        self.fixed_state = state
+        self.name = "always-replicate" if state is ReplicationState.REPLICATED else "never-replicate"
+
+    def observe(self, operations: Iterable[Operation]) -> List[Decision]:
+        changed: List[Decision] = []
+        for op in operations:
+            self._set_state(op.key, self.fixed_state, changed)
+        return changed
+
+    def state_of(self, key: str) -> ReplicationState:
+        return self.fixed_state

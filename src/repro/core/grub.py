@@ -1,0 +1,299 @@
+"""The GRuB system facade: wire the substrates together and drive workloads.
+
+:class:`GrubSystem` assembles a blockchain, a storage-manager contract, a DU
+contract, the off-chain SP with its authenticated store, and the DO with its
+control plane, and exposes a single :meth:`GrubSystem.run` that drives a
+workload (a sequence of :class:`~repro.common.types.Operation`) through the
+whole stack epoch by epoch, returning a :class:`RunReport` with the gas series
+the paper's figures plot.
+
+The epoch loop models the paper's deployment:
+
+1. Within an epoch, writes are buffered locally by the DO (no gas yet), while
+   reads execute on chain immediately (they are internal calls of DU
+   transactions that exist regardless of the feed): a read either hits an
+   on-chain replica or emits a ``request`` event.
+2. At the end of the epoch, the SP's watchdog answers all outstanding
+   requests with a ``deliver`` transaction (batched by default), the DO runs
+   the control plane and submits the epoch's ``update`` transaction, and a
+   block is mined.
+
+Gas is attributed to the feed layer or the application layer; the per-epoch
+gas of the feed layer divided by the number of operations in the epoch is the
+"Gas per operation" metric of the paper's time-series figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.ads.authenticated_kv import AuthenticatedKVStore
+from repro.chain.chain import Blockchain
+from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
+from repro.common.clock import SimulatedClock
+from repro.common.types import EpochSummary, KVRecord, Operation, OperationKind
+from repro.core.config import GrubConfig
+from repro.core.consistency import ConsistencyModel
+from repro.core.control_plane import ControlPlane, DecisionActuator, WorkloadMonitor
+from repro.core.data_consumer import DataConsumerContract
+from repro.core.data_owner import DataOwner
+from repro.core.decision.base import CostModel, make_algorithm
+from repro.core.service_provider import ServiceProvider
+from repro.core.storage_manager import StorageManagerContract
+
+
+@dataclass
+class RunReport:
+    """Results of driving one workload through a system."""
+
+    system_name: str
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    epochs: List[EpochSummary] = field(default_factory=list)
+    gas_feed: int = 0
+    gas_application: int = 0
+    replications: int = 0
+    evictions: int = 0
+    deliveries: int = 0
+    update_transactions: int = 0
+    gas_by_category: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gas_total(self) -> int:
+        return self.gas_feed + self.gas_application
+
+    @property
+    def gas_per_operation(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.gas_feed / self.operations
+
+    @property
+    def gas_per_operation_total(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.gas_total / self.operations
+
+    def epoch_series(self) -> List[float]:
+        """Per-epoch feed gas per operation (the Y series of the paper's figures)."""
+        return [epoch.gas_per_operation for epoch in self.epochs]
+
+    def saving_versus(self, other: "RunReport") -> float:
+        """Fractional gas saving of this run compared to ``other`` (positive = cheaper)."""
+        if other.gas_feed == 0:
+            return 0.0
+        return 1.0 - self.gas_feed / other.gas_feed
+
+
+class GrubSystem:
+    """A fully wired GRuB deployment driven by workload operations."""
+
+    name = "GRuB"
+
+    def __init__(
+        self,
+        config: Optional[GrubConfig] = None,
+        consumer_factory=None,
+        preload: Optional[Sequence[KVRecord]] = None,
+    ) -> None:
+        self.config = config or GrubConfig()
+        self.clock = SimulatedClock()
+        self.chain = Blockchain(
+            schedule=self.config.gas_schedule,
+            parameters=self.config.chain_parameters,
+            clock=self.clock,
+        )
+        self.storage_manager = StorageManagerContract(
+            address="storage-manager",
+            data_owner="data-owner",
+            track_trace_on_chain=self._trace_mode(),
+            reuse_replica_slots=self.config.reuse_replica_slots,
+        )
+        self.chain.deploy(self.storage_manager)
+        if consumer_factory is None:
+            self.consumer = DataConsumerContract("data-consumer", self.storage_manager.address)
+        else:
+            self.consumer = consumer_factory(self.storage_manager.address)
+        self.chain.deploy(self.consumer)
+        self.sp_store = AuthenticatedKVStore()
+        self.service_provider = ServiceProvider(
+            address="storage-provider",
+            chain=self.chain,
+            storage_manager=self.storage_manager,
+            store=self.sp_store,
+            batch_deliver=self.config.batch_deliver,
+        )
+        cost_model = CostModel.from_schedule(self.config.gas_schedule)
+        self._cost_model = cost_model
+        algorithm = make_algorithm(
+            self.config.algorithm,
+            cost_model,
+            k=self.config.k,
+            k_prime=self.config.k_prime,
+            window_d=self.config.window_d,
+            adaptive_history=self.config.adaptive_history,
+        )
+        control_plane = ControlPlane(
+            monitor=WorkloadMonitor(storage_manager=self.storage_manager),
+            algorithm=algorithm,
+            actuator=DecisionActuator(),
+            evict_unused_after_epochs=self.config.evict_unused_after_epochs,
+            continuous=self.config.continuous_decisions,
+        )
+        self.data_owner = DataOwner(
+            address="data-owner",
+            chain=self.chain,
+            storage_manager=self.storage_manager,
+            sp_store=self.sp_store,
+            control_plane=control_plane,
+        )
+        if self.config.deliver_replication_hint and self.config.algorithm not in ("always", "never"):
+            self.service_provider.decision_lookup = control_plane.decision_for
+        self.consistency = ConsistencyModel(
+            epoch_seconds=self.config.epoch_size * 1.0,
+            chain=self.config.chain_parameters,
+        )
+        if preload:
+            self.data_owner.preload(list(preload))
+
+    # -- construction helpers ----------------------------------------------------
+
+    def _trace_mode(self) -> str:
+        return "off"
+
+    def set_future_trace(self, operations: Sequence[Operation]) -> None:
+        """Give a clairvoyant (offline-optimal) algorithm the full future trace."""
+        algorithm = make_algorithm(
+            "offline",
+            self._cost_model,
+            future_trace=list(operations),
+        )
+        self.data_owner.control_plane.algorithm = algorithm
+
+    # -- workload driving -----------------------------------------------------------
+
+    def run(
+        self,
+        operations: Iterable[Operation],
+        *,
+        phase_markers: Optional[Dict[int, str]] = None,
+    ) -> RunReport:
+        """Drive ``operations`` through the system, one epoch at a time."""
+        report = RunReport(system_name=self.name)
+        epoch_ops: List[Operation] = []
+        for operation in operations:
+            epoch_ops.append(operation)
+            if len(epoch_ops) >= self.config.epoch_size:
+                self._run_epoch(epoch_ops, report, phase_markers)
+                epoch_ops = []
+        if epoch_ops:
+            self._run_epoch(epoch_ops, report, phase_markers)
+        self._finalise_report(report)
+        return report
+
+    def _run_epoch(
+        self,
+        operations: List[Operation],
+        report: RunReport,
+        phase_markers: Optional[Dict[int, str]],
+    ) -> None:
+        feed_before = self.chain.ledger.feed_total
+        app_before = self.chain.ledger.application_total
+        index = len(report.epochs)
+        self.storage_manager.current_epoch_hint = index
+        summary = EpochSummary(index=index, operations=len(operations))
+        if phase_markers and report.operations in phase_markers:
+            summary.extras["phase"] = phase_markers[report.operations]
+
+        for operation in operations:
+            if operation.is_write:
+                value = operation.value
+                if value is None:
+                    value = b"\x00" * self.config.record_size_bytes
+                self.data_owner.put(operation.key, value)
+                summary.writes += 1
+                report.writes += 1
+            elif operation.kind is OperationKind.SCAN:
+                keys = self._scan_keys(operation)
+                self.chain.execute_internal_call(
+                    sender="end-user",
+                    contract_address=self.consumer.address,
+                    function="scan_feed",
+                    layer=LAYER_FEED,
+                    start_key=operation.key,
+                    keys=keys,
+                )
+                summary.reads += 1
+                report.reads += 1
+            else:
+                self.chain.execute_internal_call(
+                    sender="end-user",
+                    contract_address=self.consumer.address,
+                    function="query_feed",
+                    layer=LAYER_FEED,
+                    key=operation.key,
+                )
+                summary.reads += 1
+                report.reads += 1
+            report.operations += 1
+            if self.config.continuous_decisions and operation.is_read:
+                # The DO's full node sees the gGet in the next block; feed it
+                # to the decision algorithm straight away.
+                self.data_owner.control_plane.observe_chain_reads()
+            if not self.config.batch_deliver:
+                # Immediate delivery: the watchdog answers each request as it
+                # appears rather than waiting for the end of the epoch.
+                self.service_provider.service_epoch()
+                self.chain.mine_block()
+
+        # End of epoch: the SP answers outstanding requests first (its deliver
+        # may already materialise pending NR→R decisions via the replicate
+        # hint), then the DO's update transaction lands in the next block.
+        deliver_txs = self.service_provider.service_epoch()
+        if deliver_txs:
+            self.chain.mine_block()
+        update_result = self.data_owner.end_epoch()
+        self.chain.mine_block()
+
+        summary.deliveries = len(deliver_txs)
+        summary.update_transactions = 1 if update_result.transaction is not None else 0
+        summary.replications = sum(
+            1 for state in update_result.transitions.values() if state.value == "R"
+        )
+        summary.evictions = sum(
+            1 for state in update_result.transitions.values() if state.value == "NR"
+        )
+        summary.gas_feed = self.chain.ledger.feed_total - feed_before
+        summary.gas_application = self.chain.ledger.application_total - app_before
+        report.epochs.append(summary)
+        report.gas_feed += summary.gas_feed
+        report.gas_application += summary.gas_application
+        report.replications += summary.replications
+        report.evictions += summary.evictions
+        report.deliveries += summary.deliveries
+        report.update_transactions += summary.update_transactions
+
+    def _scan_keys(self, operation: Operation) -> List[str]:
+        keys = self.sp_store.keys()
+        if not keys:
+            return [operation.key]
+        import bisect
+
+        start = bisect.bisect_left(keys, operation.key)
+        selected = keys[start : start + operation.scan_length]
+        return selected or [operation.key]
+
+    def _finalise_report(self, report: RunReport) -> None:
+        report.gas_by_category = dict(self.chain.ledger.by_category)
+
+    # -- convenience views ---------------------------------------------------------
+
+    @property
+    def replicated_on_chain(self) -> int:
+        return self.storage_manager.replica_count()
+
+    def preload_records(self, records: Sequence[KVRecord]) -> None:
+        """Preload the store outside the measured run (paper's YCSB setup)."""
+        self.data_owner.preload(list(records))

@@ -1,0 +1,251 @@
+"""The storage provider (SP): untrusted off-chain cloud storage + watchdog.
+
+The SP holds the primary copy of the feed in its authenticated KV store and
+runs a watchdog daemon that tails the blockchain event log.  When the
+storage-manager contract emits a ``request`` event (a DU asked for a record
+that has no on-chain replica), the watchdog looks the record up, attaches its
+Merkle proof, and answers with a ``deliver`` transaction.
+
+Two delivery modes are supported:
+
+* **epoch-batched** (default, matching the paper's epoch-batched transaction
+  accounting): pending requests accumulate and are answered in one ``deliver``
+  transaction per epoch, amortising the transaction base cost;
+* **immediate**: one ``deliver`` transaction per request, used by the
+  ablation benchmark that quantifies the value of batching.
+
+The SP is the protocol's adversary.  :class:`TamperingServiceProvider` wraps
+the honest behaviour with configurable corruptions (forge a value, replay a
+stale record's proof, omit a requested record, serve a forked root) so tests
+can show the on-chain verification rejects each of them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.ads.authenticated_kv import AuthenticatedKVStore
+from repro.chain.chain import Blockchain
+from repro.chain.gas import LAYER_FEED
+from repro.chain.transaction import Transaction
+from repro.common.types import ReplicationState
+from repro.core.storage_manager import CallbackRef, DeliverItem, StorageManagerContract
+
+
+@dataclass
+class PendingRequest:
+    """One request event the watchdog has seen but not yet answered."""
+
+    key: str
+    consumer: str
+    callback: str
+    context: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class ServiceProvider:
+    """Honest SP: serves requests with correct records and proofs."""
+
+    address: str
+    chain: Blockchain
+    storage_manager: StorageManagerContract
+    store: AuthenticatedKVStore
+    batch_deliver: bool = True
+    #: Optional callable mapping a key to the DO's current replication
+    #: decision; when set, delivers carry ``replicate=True`` for keys the DO
+    #: wants replicated even before the next epoch update lands (the paper's
+    #: deliver-time ``replicate`` flag).
+    decision_lookup: Optional[Callable[[str], ReplicationState]] = None
+    _log_cursor: int = 0
+    pending: List[PendingRequest] = field(default_factory=list)
+    deliveries_sent: int = 0
+    records_delivered: int = 0
+
+    # -- watchdog ------------------------------------------------------------
+
+    def poll_requests(self) -> int:
+        """Scan the event log for new request events; returns how many were found."""
+        events = self.chain.event_log.filter(
+            contract=self.storage_manager.address, since=self._log_cursor
+        )
+        self._log_cursor = len(self.chain.event_log)
+        found = 0
+        for event in events:
+            if event.name == "request":
+                self.pending.append(
+                    PendingRequest(
+                        key=event.payload["key"],
+                        consumer=event.payload["consumer"],
+                        callback=event.payload.get("callback", "on_data"),
+                        context=dict(event.payload.get("context", {})),
+                    )
+                )
+                found += 1
+            elif event.name == "request_range":
+                for key in event.payload["keys"]:
+                    self.pending.append(
+                        PendingRequest(
+                            key=key,
+                            consumer=event.payload["consumer"],
+                            callback=event.payload.get("callback", "on_data"),
+                        )
+                    )
+                    found += 1
+        return found
+
+    def register_request(
+        self, key: str, consumer: str, callback: str = "on_data", **context: object
+    ) -> None:
+        """Directly register a pending request (used when the simulation routes
+        request events to the SP without going through the mined event log)."""
+        self.pending.append(
+            PendingRequest(key=key, consumer=consumer, callback=callback, context=dict(context))
+        )
+
+    # -- deliver -------------------------------------------------------------------
+
+    def build_deliver_items(self, requests: List[PendingRequest]) -> List[DeliverItem]:
+        """Look up requested records and attach proofs (honest behaviour)."""
+        items: List[DeliverItem] = []
+        seen_keys: set = set()
+        for request in requests:
+            result = self.store.query(request.key)
+            if result.record is None:
+                # Honest SP answers misses by omitting the record; the DU's
+                # callback simply never fires for an unknown key.
+                continue
+            replicate = result.record.state is ReplicationState.REPLICATED
+            if self.decision_lookup is not None:
+                replicate = self.decision_lookup(request.key) is ReplicationState.REPLICATED
+            if replicate and request.key in seen_keys:
+                # The first delivery of an epoch already inserts the replica;
+                # later duplicates only need to trigger the callback.
+                replicate = False
+            seen_keys.add(request.key)
+            items.append(
+                DeliverItem(
+                    key=request.key,
+                    value=result.record.value,
+                    replicate=replicate,
+                    proof=result.proof,
+                    state_prefix=result.record.state.prefix,
+                    callback=CallbackRef.make(
+                        request.consumer, request.callback, **request.context
+                    ),
+                )
+            )
+        return items
+
+    def flush_deliveries(self) -> List[Transaction]:
+        """Answer pending requests, either in one batched transaction or one each."""
+        if not self.pending:
+            return []
+        requests, self.pending = self.pending, []
+        groups: List[List[PendingRequest]]
+        if self.batch_deliver:
+            groups = [requests]
+        else:
+            groups = [[request] for request in requests]
+        transactions: List[Transaction] = []
+        for group in groups:
+            items = self.build_deliver_items(group)
+            if not items:
+                continue
+            calldata = sum(item.calldata_bytes for item in items)
+            transaction = Transaction(
+                sender=self.address,
+                contract=self.storage_manager.address,
+                function="deliver",
+                args={"items": items},
+                calldata_bytes=calldata,
+                layer=LAYER_FEED,
+            )
+            self.chain.submit(transaction)
+            transactions.append(transaction)
+            self.deliveries_sent += 1
+            self.records_delivered += len(items)
+        return transactions
+
+    def service_epoch(self) -> List[Transaction]:
+        """One watchdog cycle: poll the log, then answer what was found."""
+        self.poll_requests()
+        return self.flush_deliveries()
+
+
+@dataclass
+class TamperingServiceProvider(ServiceProvider):
+    """Adversarial SP used by the security tests.
+
+    ``attack`` selects the corruption applied to delivered records:
+
+    * ``"forge"`` — deliver a different value under the correct key,
+    * ``"replay"`` — deliver a stale value captured before the latest update,
+    * ``"omit"`` — silently drop a fraction of requested records,
+    * ``"fork"`` — generate proofs against a private fork of the store.
+    """
+
+    attack: str = "forge"
+    stale_snapshot: Dict[str, bytes] = field(default_factory=dict)
+    omit_probability: float = 1.0
+    rng: random.Random = field(default_factory=lambda: random.Random(7))
+    attacks_attempted: int = 0
+
+    def capture_snapshot(self) -> None:
+        """Remember current values so a later ``replay`` can serve stale data."""
+        self.stale_snapshot = {
+            record.key: record.value for record in self.store.records()
+        }
+
+    def build_deliver_items(self, requests: List[PendingRequest]) -> List[DeliverItem]:
+        items = super().build_deliver_items(requests)
+        corrupted: List[DeliverItem] = []
+        for item in items:
+            self.attacks_attempted += 1
+            if self.attack == "forge":
+                corrupted.append(
+                    DeliverItem(
+                        key=item.key,
+                        value=item.value + b"-forged",
+                        replicate=item.replicate,
+                        proof=item.proof,
+                        state_prefix=item.state_prefix,
+                        callback=item.callback,
+                    )
+                )
+            elif self.attack == "replay":
+                stale = self.stale_snapshot.get(item.key, item.value + b"-missing")
+                corrupted.append(
+                    DeliverItem(
+                        key=item.key,
+                        value=stale,
+                        replicate=item.replicate,
+                        proof=item.proof,
+                        state_prefix=item.state_prefix,
+                        callback=item.callback,
+                    )
+                )
+            elif self.attack == "omit":
+                if self.rng.random() < self.omit_probability:
+                    continue
+                corrupted.append(item)
+            elif self.attack == "fork":
+                forked_store = AuthenticatedKVStore()
+                forked_store.load(
+                    [record.with_value(record.value + b"-fork") for record in self.store.records()]
+                )
+                result = forked_store.query(item.key)
+                corrupted.append(
+                    DeliverItem(
+                        key=item.key,
+                        value=result.record.value,
+                        replicate=item.replicate,
+                        proof=result.proof,
+                        state_prefix=result.record.state.prefix,
+                        callback=item.callback,
+                    )
+                )
+            else:
+                corrupted.append(item)
+        return corrupted

@@ -1,0 +1,360 @@
+"""The on-chain storage-manager contract (the paper's Listing 2).
+
+The contract holds:
+
+* ``rootHash`` — the latest digest of the authenticated KV store, signed and
+  published by the data owner with every epoch's ``update`` transaction,
+* ``replica:<key>`` slots — the on-chain replicas of records whose current
+  replication decision is R.
+
+and exposes three functions:
+
+* ``gGet(key, consumer, callback)`` — internal call from a DU contract.  If a
+  replica exists the callback is invoked synchronously with the value;
+  otherwise a ``request`` event is emitted for the SP's watchdog and the call
+  returns ``None`` (the callback will be invoked later by ``deliver``).
+* ``deliver(items)`` — transaction from the SP answering outstanding
+  requests.  Each delivered record is verified against ``rootHash`` with its
+  Merkle proof; verified records optionally become replicas (when the
+  record's replication decision is R) and the requesting DU's callback runs.
+* ``update(entries, transitions, digest)`` — the DO's epoch transaction:
+  refresh the digest, write the new values of replicated records, and
+  actuate replication-state transitions (insert new replicas / evict old
+  ones).
+
+Every storage access, hash, log and internal call charges gas through the
+execution context, so the experiments' gas numbers emerge from the same code
+path the protocol actually takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.ads.merkle import MerkleProof, verify_membership
+from repro.chain.contract import Contract
+from repro.chain.vm import ExecutionContext
+from repro.chain.gas import LAYER_APPLICATION
+from repro.common.encoding import words_for_bytes
+from repro.common.hashing import hash_record
+from repro.common.types import ReplicationState
+
+
+@dataclass(frozen=True)
+class CallbackRef:
+    """Reference to the DU function to invoke once data is available."""
+
+    consumer: str
+    function: str = "on_data"
+    context: Tuple[Tuple[str, Any], ...] = ()
+
+    def context_dict(self) -> Dict[str, Any]:
+        return dict(self.context)
+
+    @staticmethod
+    def make(consumer: str, function: str = "on_data", **context: Any) -> "CallbackRef":
+        return CallbackRef(
+            consumer=consumer, function=function, context=tuple(sorted(context.items()))
+        )
+
+
+@dataclass(frozen=True)
+class DeliverItem:
+    """One record the SP delivers in answer to a request event."""
+
+    key: str
+    value: bytes
+    replicate: bool
+    proof: Optional[MerkleProof]
+    state_prefix: str
+    callback: Optional[CallbackRef]
+
+    @property
+    def calldata_bytes(self) -> int:
+        proof_bytes = (self.proof.size_words if self.proof else 0) * 32
+        # key word + value + proof + packed (replicate flag, callback selector).
+        return 32 + len(self.value) + proof_bytes + 8
+
+
+@dataclass(frozen=True)
+class UpdateEntry:
+    """One replicated record (or state transition) carried by an epoch update."""
+
+    key: str
+    value: Optional[bytes]
+    new_state: ReplicationState
+    is_transition: bool = False
+
+    @property
+    def calldata_bytes(self) -> int:
+        value_bytes = len(self.value) if self.value is not None else 0
+        return 32 + value_bytes + (32 if self.is_transition else 0)
+
+
+@dataclass
+class GGetCall:
+    """Record of one gGet invocation, mirrored from the chain's native call log.
+
+    The control plane's workload monitor reads these (through the DO's full
+    node) to learn the on-chain read trace; this costs no gas because the
+    chain logs contract invocations natively.
+    """
+
+    key: str
+    hit_replica: bool
+    epoch_hint: int
+    consumer: str
+
+
+#: Marker stored in a replica slot when the replica is evicted.  The paper's
+#: data plane "invalidates" an existing replica on an R→NR transition rather
+#: than clearing the slot, so a later re-replication of the same key pays the
+#: (cheaper) storage-update price instead of a fresh insert.
+INVALID_REPLICA = b"\x00"
+
+
+class StorageManagerContract(Contract):
+    """GRuB's on-chain component: digest keeper, replica store, read router."""
+
+    ROOT_SLOT = "rootHash"
+
+    def __init__(
+        self,
+        address: str,
+        data_owner: str,
+        track_trace_on_chain: str = "off",
+        reuse_replica_slots: bool = False,
+    ) -> None:
+        """``track_trace_on_chain`` selects the BL3/BL4 behaviour:
+
+        * ``"off"`` (GRuB and the static baselines) — the read/write trace is
+          only available through native call logging, which is free;
+        * ``"reads"`` (BL4) — every gGet also updates an on-chain read
+          counter, paying storage gas;
+        * ``"reads+writes"`` (BL3) — reads and writes both update on-chain
+          counters.
+
+        ``reuse_replica_slots`` enables the BtcRelay experiment's "reusable
+        storage": new replicas recycle slots freed by earlier evictions, so
+        they pay the storage-update price instead of the insert price.
+        """
+        super().__init__(address)
+        self.data_owner = data_owner
+        self.track_trace_on_chain = track_trace_on_chain
+        self.reuse_replica_slots = reuse_replica_slots
+        self.free_replica_slots = 0
+        self.call_history: List[GGetCall] = []
+        self.requests_emitted = 0
+        self.delivered_records = 0
+        self.current_epoch_hint = 0
+
+    # -- read path ----------------------------------------------------------
+
+    def gGet(
+        self,
+        ctx: ExecutionContext,
+        key: str,
+        consumer: str,
+        callback: str = "on_data",
+        callback_context: Optional[Dict[str, Any]] = None,
+    ) -> Optional[bytes]:
+        """Internal call from a DU contract: read ``key`` from the feed."""
+        value = self.storage.load(ctx.meter, self._replica_slot(key))
+        if value == INVALID_REPLICA:
+            value = None
+        hit = value is not None
+        self.call_history.append(
+            GGetCall(key=key, hit_replica=hit, epoch_hint=self.current_epoch_hint, consumer=consumer)
+        )
+        self._maybe_track_trace(ctx, key, is_write=False)
+        if hit:
+            self._invoke_callback(
+                ctx,
+                CallbackRef.make(consumer, callback, **(callback_context or {})),
+                key,
+                value,
+            )
+            return value
+        self.requests_emitted += 1
+        self.emit(
+            ctx,
+            "request",
+            key=key,
+            consumer=consumer,
+            callback=callback,
+            context=callback_context or {},
+        )
+        return None
+
+    def gGetRange(
+        self,
+        ctx: ExecutionContext,
+        start_key: str,
+        keys: List[str],
+        consumer: str,
+        callback: str = "on_data",
+    ) -> Dict[str, Optional[bytes]]:
+        """Range/scan read: check each key's replica, request the misses as a group."""
+        results: Dict[str, Optional[bytes]] = {}
+        missing: List[str] = []
+        for key in keys:
+            value = self.storage.load(ctx.meter, self._replica_slot(key))
+            if value == INVALID_REPLICA:
+                value = None
+            hit = value is not None
+            self.call_history.append(
+                GGetCall(
+                    key=key,
+                    hit_replica=hit,
+                    epoch_hint=self.current_epoch_hint,
+                    consumer=consumer,
+                )
+            )
+            self._maybe_track_trace(ctx, key, is_write=False)
+            results[key] = value
+            if not hit:
+                missing.append(key)
+        if missing:
+            self.requests_emitted += 1
+            self.emit(
+                ctx,
+                "request_range",
+                start_key=start_key,
+                keys=missing,
+                consumer=consumer,
+                callback=callback,
+            )
+        for key, value in results.items():
+            if value is not None:
+                self._invoke_callback(ctx, CallbackRef.make(consumer, callback), key, value)
+        return results
+
+    def deliver(self, ctx: ExecutionContext, items: List[DeliverItem]) -> int:
+        """SP transaction answering requests: verify, optionally replicate, call back."""
+        root = self.storage.load(ctx.meter, self.ROOT_SLOT)
+        self.require(root is not None, "no root hash published yet")
+        verified = 0
+        for item in items:
+            self.require(item.proof is not None, f"missing proof for {item.key!r}")
+            leaf = self._leaf_hash(ctx, item)
+            ok = verify_membership(
+                root,
+                leaf,
+                item.proof,
+                charge_hash=lambda words: ctx.meter.charge(
+                    ctx.meter.schedule.hash_cost(words), "hash"
+                ),
+            )
+            self.require(ok, f"integrity check failed for delivered key {item.key!r}")
+            if item.replicate:
+                self._store_replica(ctx, item.key, item.value)
+            if item.callback is not None:
+                self._invoke_callback(ctx, item.callback, item.key, item.value)
+            verified += 1
+            self.delivered_records += 1
+        return verified
+
+    # -- write path -----------------------------------------------------------
+
+    def update(
+        self,
+        ctx: ExecutionContext,
+        entries: List[UpdateEntry],
+        digest: bytes,
+    ) -> int:
+        """The DO's epoch transaction: refresh digest, apply replicated writes/transitions."""
+        self.require(ctx.sender == self.data_owner, "only the data owner may update")
+        self.storage.store(ctx.meter, self.ROOT_SLOT, digest)
+        applied = 0
+        for entry in entries:
+            self._maybe_track_trace(ctx, entry.key, is_write=True)
+            if entry.new_state is ReplicationState.REPLICATED:
+                self.require(
+                    entry.value is not None,
+                    f"replicated entry {entry.key!r} must carry its value",
+                )
+                self._store_replica(ctx, entry.key, entry.value)
+            else:
+                if entry.is_transition and self.storage.contains(ctx.meter, self._replica_slot(entry.key)):
+                    # Invalidate (do not delete) so a later re-replication of
+                    # the same key is a storage update rather than an insert.
+                    self.storage.store(ctx.meter, self._replica_slot(entry.key), INVALID_REPLICA)
+                    self.free_replica_slots += 1
+            applied += 1
+        return applied
+
+    def _store_replica(self, ctx: ExecutionContext, key: str, value: bytes) -> None:
+        """Write a replica, recycling a freed slot when the pool allows it."""
+        slot = self._replica_slot(key)
+        if (
+            self.reuse_replica_slots
+            and self.free_replica_slots > 0
+            and not self.storage.has(slot)
+        ):
+            self.free_replica_slots -= 1
+            self.storage.store_reusing(ctx.meter, slot, value)
+        else:
+            self.storage.store(ctx.meter, slot, value)
+
+    # -- views (no global gas; used by off-chain components via their full node) --
+
+    def replica_of(self, key: str) -> Optional[bytes]:
+        """Unmetered view of a replica slot (off-chain observation)."""
+        value = self.storage.peek(self._replica_slot(key))
+        return None if value == INVALID_REPLICA else value
+
+    def has_replica(self, key: str) -> bool:
+        return self.replica_of(key) is not None
+
+    def root_hash(self) -> Optional[bytes]:
+        return self.storage.peek(self.ROOT_SLOT)
+
+    def replica_count(self) -> int:
+        return sum(
+            1
+            for slot, value in self.storage.slots.items()
+            if slot.startswith("replica:") and value != INVALID_REPLICA
+        )
+
+    def calls_since(self, index: int) -> List[GGetCall]:
+        """Call-history suffix, what the DO's monitor fetches each epoch."""
+        return self.call_history[index:]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _replica_slot(self, key: str) -> str:
+        return f"replica:{key}"
+
+    def _leaf_hash(self, ctx: ExecutionContext, item: DeliverItem) -> bytes:
+        words = max(1, words_for_bytes(len(item.value))) + 2
+        ctx.meter.charge(ctx.meter.schedule.hash_cost(words), "hash")
+        return hash_record(item.key, item.value, item.state_prefix)
+
+    def _invoke_callback(
+        self, ctx: ExecutionContext, callback: CallbackRef, key: str, value: bytes
+    ) -> None:
+        if self.chain is None or callback.consumer not in self.chain.contracts:
+            return
+        consumer = self.chain.get_contract(callback.consumer)
+        self.call_contract(
+            ctx,
+            consumer,
+            callback.function,
+            layer=LAYER_APPLICATION,
+            key=key,
+            value=value,
+            **callback.context_dict(),
+        )
+
+    def _maybe_track_trace(self, ctx: ExecutionContext, key: str, is_write: bool) -> None:
+        """BL3/BL4 behaviour: pay storage gas to keep the trace on chain."""
+        if self.track_trace_on_chain == "off":
+            return
+        if is_write and self.track_trace_on_chain != "reads+writes":
+            return
+        suffix = "w" if is_write else "r"
+        slot = f"trace:{suffix}:{key}"
+        current = self.storage.peek(slot)
+        count = int.from_bytes(current, "big") if current else 0
+        self.storage.store(ctx.meter, slot, (count + 1).to_bytes(32, "big"))

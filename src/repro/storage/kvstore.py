@@ -1,0 +1,123 @@
+"""Abstract key-value store interface and an in-memory reference implementation.
+
+Every component that needs off-chain storage (the SP's primary copy, the DO's
+local mirror, test fixtures) programs against :class:`KVStore`, so the LSM
+store and the in-memory store are interchangeable — exactly the property the
+paper claims for GRuB ("any off-chain storage service supporting KV storage").
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+
+
+class KVStore(ABC):
+    """Minimal ordered key-value store interface.
+
+    Keys are strings and values are bytes.  Iteration order is lexicographic
+    by key, which the ADS layer relies on to build its key-sorted Merkle tree.
+    """
+
+    @abstractmethod
+    def get(self, key: str) -> Optional[bytes]:
+        """Return the value for ``key`` or ``None`` when absent."""
+
+    @abstractmethod
+    def put(self, key: str, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+
+    @abstractmethod
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; returns whether it existed."""
+
+    @abstractmethod
+    def scan(self, start_key: str, end_key: Optional[str] = None, limit: Optional[int] = None) -> List[Tuple[str, bytes]]:
+        """Return records with ``start_key <= key`` (< ``end_key`` if given), in order."""
+
+    @abstractmethod
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        """Iterate all live records in key order."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of live records."""
+
+    # -- conveniences shared by implementations -----------------------------
+
+    def contains(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> List[str]:
+        return [key for key, _ in self.items()]
+
+    def require(self, key: str) -> bytes:
+        value = self.get(key)
+        if value is None:
+            raise StorageError(f"key not found: {key!r}")
+        return value
+
+    def put_many(self, records: Dict[str, bytes]) -> None:
+        for key, value in records.items():
+            self.put(key, value)
+
+    def clear(self) -> None:
+        for key in list(self.keys()):
+            self.delete(key)
+
+
+class InMemoryKVStore(KVStore):
+    """A sorted in-memory store: a dict plus a sorted key index.
+
+    Used where LSM behaviour (flush/compaction) is not the thing under test;
+    the interface and iteration order are identical to :class:`LSMStore`.
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, bytes] = {}
+        self._sorted_keys: List[str] = []
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, bytes):
+            raise StorageError(f"values must be bytes, got {type(value).__name__}")
+        if key not in self._data:
+            bisect.insort(self._sorted_keys, key)
+        self._data[key] = value
+
+    def delete(self, key: str) -> bool:
+        if key not in self._data:
+            return False
+        del self._data[key]
+        index = bisect.bisect_left(self._sorted_keys, key)
+        if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
+            self._sorted_keys.pop(index)
+        return True
+
+    def scan(
+        self,
+        start_key: str,
+        end_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, bytes]]:
+        start = bisect.bisect_left(self._sorted_keys, start_key)
+        result: List[Tuple[str, bytes]] = []
+        for key in self._sorted_keys[start:]:
+            if end_key is not None and key >= end_key:
+                break
+            result.append((key, self._data[key]))
+            if limit is not None and len(result) >= limit:
+                break
+        return result
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for key in self._sorted_keys:
+            yield key, self._data[key]
+
+    def __len__(self) -> int:
+        return len(self._data)

@@ -1,0 +1,186 @@
+"""The LSM-tree key-value store (LevelDB stand-in).
+
+Writes land in a memtable (optionally mirrored into a write-ahead log);
+when the memtable exceeds a threshold it is frozen into an immutable SSTable.
+Reads consult the memtable first, then SSTables newest-to-oldest.  When the
+number of tables exceeds a threshold a compaction merges them, discarding
+shadowed versions and — on major compactions — tombstones.
+
+The store can run purely in memory (``directory=None``) or persist its tables
+and WAL under a directory so it can be reopened, which is what the storage
+provider in the paper would use LevelDB for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import StorageError
+from repro.storage.kvstore import KVStore
+from repro.storage.memtable import TOMBSTONE, MemTable
+from repro.storage.sstable import SSTable, merge_tables
+
+
+@dataclass(frozen=True)
+class LSMConfig:
+    """Tuning knobs of the LSM store."""
+
+    memtable_flush_bytes: int = 64 * 1024
+    max_sstables_before_compaction: int = 4
+    write_ahead_log: bool = True
+
+
+class LSMStore(KVStore):
+    """A log-structured merge-tree store with the :class:`KVStore` interface."""
+
+    def __init__(
+        self,
+        directory: Optional[Path] = None,
+        config: Optional[LSMConfig] = None,
+    ) -> None:
+        self.config = config or LSMConfig()
+        self.directory = Path(directory) if directory is not None else None
+        self.memtable = MemTable()
+        self.sstables: List[SSTable] = []
+        self.flushes = 0
+        self.compactions = 0
+        self._wal_path = (
+            self.directory / "wal.log" if self.directory is not None else None
+        )
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._recover()
+
+    # -- KVStore interface ----------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        found, value = self.memtable.get(key)
+        if found:
+            return value
+        for table in sorted(self.sstables, key=lambda t: t.sequence, reverse=True):
+            found, value = table.get(key)
+            if found:
+                return value
+        return None
+
+    def put(self, key: str, value: bytes) -> None:
+        if not isinstance(value, bytes):
+            raise StorageError(f"values must be bytes, got {type(value).__name__}")
+        self._log_wal("put", key, value)
+        self.memtable.put(key, value)
+        self._maybe_flush()
+
+    def delete(self, key: str) -> bool:
+        existed = self.get(key) is not None
+        self._log_wal("delete", key, None)
+        self.memtable.delete(key)
+        self._maybe_flush()
+        return existed
+
+    def scan(
+        self,
+        start_key: str,
+        end_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, bytes]]:
+        result: List[Tuple[str, bytes]] = []
+        for key, value in self.items():
+            if key < start_key:
+                continue
+            if end_key is not None and key >= end_key:
+                break
+            result.append((key, value))
+            if limit is not None and len(result) >= limit:
+                break
+        return result
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        merged: dict = {}
+        for table in sorted(self.sstables, key=lambda t: t.sequence):
+            for key, value in table.items():
+                merged[key] = value
+        for key, value in self.memtable.items():
+            merged[key] = None if value is TOMBSTONE else value
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not None:
+                yield key, value
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # -- LSM mechanics ----------------------------------------------------------
+
+    def flush(self) -> Optional[SSTable]:
+        """Freeze the current memtable into a new SSTable (no-op when empty)."""
+        if self.memtable.is_empty:
+            return None
+        table = SSTable.from_memtable_items(self.memtable.items(), TOMBSTONE)
+        self.sstables.append(table)
+        self.memtable = MemTable()
+        self.flushes += 1
+        if self.directory is not None:
+            table.write_to(self.directory / f"sstable-{table.sequence:08d}.sst")
+            self._truncate_wal()
+        self._maybe_compact()
+        return table
+
+    def compact(self) -> SSTable:
+        """Merge every SSTable into one (a major compaction)."""
+        if not self.sstables:
+            raise StorageError("nothing to compact")
+        merged = merge_tables(self.sstables, drop_tombstones=True)
+        if self.directory is not None:
+            for table in self.sstables:
+                candidate = self.directory / f"sstable-{table.sequence:08d}.sst"
+                if candidate.exists():
+                    candidate.unlink()
+            merged.write_to(self.directory / f"sstable-{merged.sequence:08d}.sst")
+        self.sstables = [merged]
+        self.compactions += 1
+        return merged
+
+    def _maybe_flush(self) -> None:
+        if self.memtable.approximate_size_bytes >= self.config.memtable_flush_bytes:
+            self.flush()
+
+    def _maybe_compact(self) -> None:
+        if len(self.sstables) > self.config.max_sstables_before_compaction:
+            self.compact()
+
+    # -- durability --------------------------------------------------------------
+
+    def _log_wal(self, op: str, key: str, value: Optional[bytes]) -> None:
+        if self._wal_path is None or not self.config.write_ahead_log:
+            return
+        entry = {
+            "op": op,
+            "key": key,
+            "value": value.hex() if value is not None else None,
+        }
+        with self._wal_path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+
+    def _truncate_wal(self) -> None:
+        if self._wal_path is not None and self._wal_path.exists():
+            self._wal_path.unlink()
+
+    def _recover(self) -> None:
+        """Reload SSTables and replay the WAL after reopening a directory."""
+        assert self.directory is not None
+        for path in sorted(self.directory.glob("sstable-*.sst")):
+            self.sstables.append(SSTable.read_from(path))
+        if self._wal_path is not None and self._wal_path.exists():
+            with self._wal_path.open("r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    entry = json.loads(line)
+                    if entry["op"] == "put":
+                        self.memtable.put(entry["key"], bytes.fromhex(entry["value"]))
+                    else:
+                        self.memtable.delete(entry["key"])

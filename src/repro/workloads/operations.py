@@ -1,0 +1,119 @@
+"""Workload characterisation helpers.
+
+The paper characterises its real-world traces by the distribution of the
+number of reads immediately following each write (Table 1 for ethPriceOracle,
+Table 6 for BtcRelay, Figures 2 and 16a as time series).  This module computes
+those statistics from any operation sequence so the synthetic trace generators
+can be validated against the published distributions and the characterisation
+benchmark can print the same tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.types import Operation
+
+
+@dataclass
+class WorkloadStats:
+    """Summary statistics of a workload trace."""
+
+    total_operations: int
+    reads: int
+    writes: int
+    reads_after_write: List[int]
+    distinct_keys: int
+    per_key_reads: Dict[str, int] = field(default_factory=dict)
+    per_key_writes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def read_write_ratio(self) -> float:
+        if self.writes == 0:
+            return float("inf") if self.reads else 0.0
+        return self.reads / self.writes
+
+    def reads_per_write_distribution(self) -> Dict[int, float]:
+        """Fraction of writes followed by exactly ``n`` reads (Table 1 / Table 6)."""
+        if not self.reads_after_write:
+            return {}
+        counts = Counter(self.reads_after_write)
+        total = len(self.reads_after_write)
+        return {n: counts[n] / total for n in sorted(counts)}
+
+    def reads_per_write_series(self) -> List[int]:
+        """The Figure 2 / Figure 16a series: reads following each write, in order."""
+        return list(self.reads_after_write)
+
+    def distribution_table(self) -> List[Tuple[int, float]]:
+        """``(#reads, percentage)`` rows formatted like the paper's tables."""
+        return [(n, fraction * 100.0) for n, fraction in self.reads_per_write_distribution().items()]
+
+
+def characterise(operations: Sequence[Operation]) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a trace.
+
+    "Reads after a write" follows the paper's definition: for each write in the
+    global trace, the number of reads *of the same key* that occur before the
+    next write of that key.  Reads that precede the first write of their key
+    are not attributed to any write (they read the preloaded value).
+    """
+    reads = 0
+    writes = 0
+    reads_after_write: List[int] = []
+    open_interval: Dict[str, int] = {}
+    per_key_reads: Dict[str, int] = defaultdict(int)
+    per_key_writes: Dict[str, int] = defaultdict(int)
+    write_order: List[str] = []
+
+    for op in operations:
+        if op.is_write:
+            writes += 1
+            per_key_writes[op.key] += 1
+            if op.key in open_interval:
+                reads_after_write.append(open_interval[op.key])
+            write_order.append(op.key)
+            open_interval[op.key] = 0
+        else:
+            reads += 1
+            per_key_reads[op.key] += 1
+            if op.key in open_interval:
+                open_interval[op.key] += 1
+            # Reads of keys that were never written (preloaded records) are
+            # not attributed to any write interval.
+
+    # Close the final interval of every written key, so every write has
+    # exactly one entry in ``reads_after_write``.
+    for key in open_interval:
+        reads_after_write.append(open_interval[key])
+
+    distinct = set(per_key_reads) | set(per_key_writes)
+    return WorkloadStats(
+        total_operations=len(operations),
+        reads=reads,
+        writes=writes,
+        reads_after_write=reads_after_write,
+        distinct_keys=len(distinct),
+        per_key_reads=dict(per_key_reads),
+        per_key_writes=dict(per_key_writes),
+    )
+
+
+def interleave_phases(phases: Iterable[Sequence[Operation]]) -> List[Operation]:
+    """Concatenate workload phases, renumbering operation sequence indices."""
+    combined: List[Operation] = []
+    for phase in phases:
+        for op in phase:
+            combined.append(
+                Operation(
+                    kind=op.kind,
+                    key=op.key,
+                    value=op.value,
+                    size_bytes=op.size_bytes,
+                    scan_length=op.scan_length,
+                    sequence=len(combined),
+                )
+            )
+    return combined

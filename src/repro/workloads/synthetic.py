@@ -1,0 +1,149 @@
+"""Fixed-ratio synthetic workloads (the paper's microbenchmarks).
+
+The microbenchmark workloads of Figures 3, 7, 8 and 11 are "repeated sequences
+of X1 writes followed by X2 reads (all under the single data key)", swept over
+the read-to-write ratio ``X2/X1`` from write-only to 256 reads per write.
+:class:`SyntheticWorkload` generates exactly that pattern (optionally over
+several keys), and :class:`AlternatingPhaseWorkload` produces the worst-case
+and phase-shifting sequences used by the algorithm-comparison experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.common.types import Operation
+
+
+def _ratio_to_counts(read_write_ratio: float) -> tuple[int, int]:
+    """Translate a read/write ratio into integer (writes, reads) per cycle.
+
+    Ratios below one become multiple writes per read (e.g. 0.125 → 8 writes,
+    1 read); ratios of one or more become one write followed by ``ratio``
+    reads.  A ratio of zero is a write-only workload.
+    """
+    if read_write_ratio < 0:
+        raise ValueError("read/write ratio must be non-negative")
+    if read_write_ratio == 0:
+        return 1, 0
+    if read_write_ratio >= 1:
+        return 1, int(round(read_write_ratio))
+    writes = int(round(1.0 / read_write_ratio))
+    return max(1, writes), 1
+
+
+@dataclass
+class SyntheticWorkload:
+    """Repeated ``X1 writes then X2 reads`` cycles at a fixed ratio."""
+
+    read_write_ratio: float = 1.0
+    num_operations: int = 256
+    num_keys: int = 1
+    record_size_bytes: int = 32
+    key_prefix: str = "asset"
+    seed: int = 11
+
+    def operations(self) -> List[Operation]:
+        writes_per_cycle, reads_per_cycle = _ratio_to_counts(self.read_write_ratio)
+        rng = random.Random(self.seed)
+        ops: List[Operation] = []
+        version = 0
+        key_index = 0
+        while len(ops) < self.num_operations:
+            key = f"{self.key_prefix}-{key_index % max(1, self.num_keys):05d}"
+            for _ in range(writes_per_cycle):
+                if len(ops) >= self.num_operations:
+                    break
+                version += 1
+                value = self._value_for(version, rng)
+                ops.append(Operation.write(key, value, sequence=len(ops)))
+            for _ in range(reads_per_cycle):
+                if len(ops) >= self.num_operations:
+                    break
+                ops.append(
+                    Operation.read(key, size_bytes=self.record_size_bytes, sequence=len(ops))
+                )
+            key_index += 1
+        return ops
+
+    def _value_for(self, version: int, rng: random.Random) -> bytes:
+        payload = version.to_bytes(8, "big")
+        filler = bytes(rng.randrange(256) for _ in range(max(0, self.record_size_bytes - 8)))
+        return (payload + filler)[: self.record_size_bytes]
+
+
+@dataclass
+class AlternatingPhaseWorkload:
+    """Workload that alternates between ratio regimes across phases.
+
+    Used to study convergence: each phase runs ``operations_per_phase``
+    operations at its own read/write ratio, over a shared key population, so a
+    dynamic scheme must re-learn the placement at every phase boundary.
+    """
+
+    phase_ratios: Sequence[float] = (0.0, 8.0)
+    operations_per_phase: int = 128
+    num_keys: int = 4
+    record_size_bytes: int = 32
+    key_prefix: str = "asset"
+    seed: int = 13
+
+    def operations(self) -> List[Operation]:
+        ops: List[Operation] = []
+        for phase_index, ratio in enumerate(self.phase_ratios):
+            phase = SyntheticWorkload(
+                read_write_ratio=ratio,
+                num_operations=self.operations_per_phase,
+                num_keys=self.num_keys,
+                record_size_bytes=self.record_size_bytes,
+                key_prefix=self.key_prefix,
+                seed=self.seed + phase_index,
+            )
+            for op in phase.operations():
+                ops.append(
+                    Operation(
+                        kind=op.kind,
+                        key=op.key,
+                        value=op.value,
+                        size_bytes=op.size_bytes,
+                        scan_length=op.scan_length,
+                        sequence=len(ops),
+                    )
+                )
+        return ops
+
+    def phase_boundaries(self) -> List[int]:
+        """Operation indices at which each phase starts (for plotting)."""
+        return [index * self.operations_per_phase for index in range(len(self.phase_ratios))]
+
+
+@dataclass
+class WorstCaseMemorylessWorkload:
+    """The adversarial sequence from Theorem A.1: every write followed by exactly K reads.
+
+    Every replica the memoryless algorithm creates is immediately invalidated
+    by the next write, so the algorithm pays the replication cost without ever
+    serving a read from the replica — the worst case its competitiveness bound
+    is stated for.
+    """
+
+    k: int = 2
+    cycles: int = 32
+    record_size_bytes: int = 32
+    key: str = "victim"
+
+    def operations(self) -> List[Operation]:
+        ops: List[Operation] = []
+        for cycle in range(self.cycles):
+            ops.append(
+                Operation.write(
+                    self.key, cycle.to_bytes(self.record_size_bytes, "big"), sequence=len(ops)
+                )
+            )
+            for _ in range(self.k):
+                ops.append(
+                    Operation.read(self.key, size_bytes=self.record_size_bytes, sequence=len(ops))
+                )
+        return ops

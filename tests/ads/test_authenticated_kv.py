@@ -1,0 +1,173 @@
+"""Tests for the authenticated KV store and its security against a tampering SP."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ads.authenticated_kv import AuthenticatedKVStore
+from repro.ads.merkle import verify_membership
+from repro.ads.signer import RootSigner
+from repro.common.errors import IntegrityError, StorageError
+from repro.common.types import KVRecord, ReplicationState
+
+
+class TestLoadAndLookup:
+    def test_load_returns_root_and_indexes_records(self, loaded_store, sample_records):
+        assert loaded_store.root != b"\x00" * 32
+        assert len(loaded_store) == len(sample_records)
+        assert loaded_store.get_record("alpha").value == b"value-alpha"
+
+    def test_records_sorted_by_key(self, loaded_store):
+        keys = [record.key for record in loaded_store.records()]
+        assert keys == sorted(keys)
+
+    def test_replicated_records_filter(self, loaded_store):
+        replicated = loaded_store.replicated_records()
+        assert [r.key for r in replicated] == ["charlie"]
+
+    def test_backing_store_uses_prefixed_keys(self, loaded_store):
+        assert loaded_store.backing.get("NR|alpha") == b"value-alpha"
+        assert loaded_store.backing.get("R|charlie") == b"value-charlie"
+
+    def test_proof_length_grows_with_size(self):
+        small = AuthenticatedKVStore()
+        small.load([KVRecord.make(f"k{i}", b"v") for i in range(4)])
+        large = AuthenticatedKVStore()
+        large.load([KVRecord.make(f"k{i}", b"v") for i in range(64)])
+        assert large.proof_length() > small.proof_length()
+
+
+class TestUpdatesAndTransitions:
+    def test_update_existing_changes_root_and_version(self, loaded_store):
+        old_root = loaded_store.root
+        loaded_store.apply_update("alpha", b"new-value")
+        assert loaded_store.root != old_root
+        record = loaded_store.get_record("alpha")
+        assert record.value == b"new-value"
+        assert record.version == 1
+
+    def test_insert_new_key(self, loaded_store):
+        loaded_store.apply_update("echo", b"value-echo")
+        assert loaded_store.get_record("echo") is not None
+        assert "echo" in loaded_store.keys()
+
+    def test_state_transition_changes_root_and_prefix(self, loaded_store):
+        old_root = loaded_store.root
+        loaded_store.apply_state_transition("alpha", ReplicationState.REPLICATED)
+        assert loaded_store.root != old_root
+        assert loaded_store.get_record("alpha").state is ReplicationState.REPLICATED
+        assert loaded_store.backing.get("R|alpha") == b"value-alpha"
+        assert loaded_store.backing.get("NR|alpha") is None
+
+    def test_transition_to_same_state_is_noop(self, loaded_store):
+        root = loaded_store.root
+        loaded_store.apply_state_transition("alpha", ReplicationState.NOT_REPLICATED)
+        assert loaded_store.root == root
+
+    def test_transition_unknown_key_rejected(self, loaded_store):
+        with pytest.raises(StorageError):
+            loaded_store.apply_state_transition("ghost", ReplicationState.REPLICATED)
+
+    def test_delete_removes_and_allows_reinsert(self, loaded_store):
+        loaded_store.delete("bravo")
+        assert loaded_store.get_record("bravo") is None
+        assert len(loaded_store) == 3
+        loaded_store.apply_update("bravo", b"back")
+        assert loaded_store.get_record("bravo").value == b"back"
+
+    def test_delete_unknown_key_is_noop(self, loaded_store):
+        root = loaded_store.root
+        loaded_store.delete("ghost")
+        assert loaded_store.root == root
+
+
+class TestQueriesAndProofs:
+    def test_query_hit_verifies_against_root(self, loaded_store):
+        result = loaded_store.query("alpha")
+        leaf = AuthenticatedKVStore.leaf_hash_for(result.record)
+        assert verify_membership(loaded_store.root, leaf, result.proof)
+
+    def test_query_miss_has_no_record(self, loaded_store):
+        result = loaded_store.query("ghost")
+        assert result.record is None and result.proof is None
+
+    def test_stale_proof_fails_after_update(self, loaded_store):
+        stale = loaded_store.query("alpha")
+        loaded_store.apply_update("alpha", b"fresh")
+        leaf = AuthenticatedKVStore.leaf_hash_for(stale.record)
+        assert not verify_membership(loaded_store.root, leaf, stale.proof)
+
+    def test_query_range_returns_only_nr_records_in_range(self, loaded_store):
+        results = loaded_store.query_range("alpha", "charlie")
+        keys = [r.key for r in results]
+        assert "charlie" not in keys  # replicated record excluded
+        assert set(keys) <= {"alpha", "bravo"}
+
+    def test_scan_returns_consecutive_keys(self, loaded_store):
+        results = loaded_store.scan("alpha", 3)
+        assert [r.key for r in results] == ["alpha", "bravo", "charlie"]
+
+    def test_update_witness_verifies_for_do(self, loaded_store):
+        witness = loaded_store.update_witness("alpha")
+        loaded_store.verify_witness(witness, loaded_store.root)
+
+    def test_witness_against_wrong_root_raises(self, loaded_store):
+        witness = loaded_store.update_witness("alpha")
+        with pytest.raises(IntegrityError):
+            loaded_store.verify_witness(witness, b"\x01" * 32)
+
+    def test_witness_for_missing_key_passes_trivially(self, loaded_store):
+        witness = loaded_store.update_witness("ghost")
+        loaded_store.verify_witness(witness, loaded_store.root)
+
+
+class TestRootSigner:
+    def test_sign_and_verify(self):
+        signer = RootSigner(secret=b"k" * 32)
+        signed = signer.sign(b"\x02" * 32)
+        assert signer.verify(signed)
+        signer.require_valid(signed)
+
+    def test_epochs_increment(self):
+        signer = RootSigner()
+        first = signer.sign(b"\x01" * 32)
+        second = signer.sign(b"\x02" * 32)
+        assert second.epoch == first.epoch + 1
+
+    def test_foreign_signature_rejected(self):
+        honest, attacker = RootSigner(), RootSigner()
+        forged = attacker.sign(b"\x03" * 32)
+        assert not honest.verify(forged)
+        with pytest.raises(IntegrityError):
+            honest.require_valid(forged)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=4),
+        st.binary(min_size=1, max_size=16),
+        min_size=1,
+        max_size=20,
+    ),
+    st.data(),
+)
+def test_every_stored_record_always_proves_membership(initial, data):
+    """Property: after arbitrary updates/transitions, every record's proof verifies
+    against the current root and no stale proof does."""
+    store = AuthenticatedKVStore()
+    store.load([KVRecord.make(k, v) for k, v in sorted(initial.items())])
+    keys = sorted(initial)
+    for _ in range(8):
+        key = data.draw(st.sampled_from(keys))
+        action = data.draw(st.sampled_from(["update", "flip"]))
+        if action == "update":
+            store.apply_update(key, data.draw(st.binary(min_size=1, max_size=16)))
+        else:
+            record = store.get_record(key)
+            store.apply_state_transition(key, record.state.flipped())
+    for key in keys:
+        result = store.query(key)
+        leaf = AuthenticatedKVStore.leaf_hash_for(result.record)
+        assert verify_membership(store.root, leaf, result.proof)

@@ -1,0 +1,178 @@
+"""Unit and property tests for the Merkle tree and its proofs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ads.merkle import (
+    MerkleTree,
+    expected_proof_length,
+    recompute_root_from_proof,
+    verify_membership,
+    verify_non_membership,
+    verify_range,
+)
+from repro.common.hashing import EMPTY_DIGEST, keccak
+
+
+def leaves_for(count: int) -> list:
+    return [keccak(f"leaf-{index}".encode()) for index in range(count)]
+
+
+class TestConstruction:
+    def test_empty_tree_has_empty_root(self):
+        assert MerkleTree([]).root == EMPTY_DIGEST
+
+    def test_single_leaf_root_is_leaf(self):
+        leaf = keccak(b"only")
+        assert MerkleTree([leaf]).root == leaf
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree(leaves_for(4)).root != MerkleTree(leaves_for(5)).root
+
+    def test_from_values_hashes_leaves(self):
+        tree = MerkleTree.from_values([b"a", b"b"])
+        assert tree.leaf(0) == keccak(b"a")
+
+    def test_depth_grows_logarithmically(self):
+        assert MerkleTree(leaves_for(8)).depth == 3
+        assert MerkleTree(leaves_for(9)).depth == 4
+
+    def test_expected_proof_length(self):
+        assert expected_proof_length(1) == 0
+        assert expected_proof_length(2) == 1
+        assert expected_proof_length(5) == 3
+
+
+class TestMembershipProofs:
+    @pytest.mark.parametrize("count", [1, 2, 3, 7, 16, 33])
+    def test_every_leaf_proves_membership(self, count):
+        leaves = leaves_for(count)
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.prove(index)
+            assert verify_membership(tree.root, leaf, proof)
+
+    def test_wrong_leaf_fails(self):
+        tree = MerkleTree(leaves_for(8))
+        proof = tree.prove(3)
+        assert not verify_membership(tree.root, keccak(b"imposter"), proof)
+
+    def test_wrong_root_fails(self):
+        tree = MerkleTree(leaves_for(8))
+        proof = tree.prove(3)
+        assert not verify_membership(keccak(b"other-root"), tree.leaf(3), proof)
+
+    def test_proof_for_wrong_position_fails(self):
+        tree = MerkleTree(leaves_for(8))
+        assert not verify_membership(tree.root, tree.leaf(2), tree.prove(3))
+
+    def test_out_of_range_proof_rejected(self):
+        tree = MerkleTree(leaves_for(4))
+        with pytest.raises(IndexError):
+            tree.prove(4)
+
+    def test_charge_hash_called_per_level(self):
+        tree = MerkleTree(leaves_for(16))
+        charges = []
+        verify_membership(tree.root, tree.leaf(0), tree.prove(0), charge_hash=charges.append)
+        assert len(charges) == tree.depth
+
+    def test_recompute_root_matches(self):
+        tree = MerkleTree(leaves_for(10))
+        proof = tree.prove(7)
+        assert recompute_root_from_proof(tree.leaf(7), proof) == tree.root
+
+
+class TestUpdates:
+    def test_update_leaf_changes_root_and_keeps_proofs_valid(self):
+        tree = MerkleTree(leaves_for(8))
+        old_root = tree.root
+        new_leaf = keccak(b"updated")
+        tree.update_leaf(5, new_leaf)
+        assert tree.root != old_root
+        assert verify_membership(tree.root, new_leaf, tree.prove(5))
+        assert verify_membership(tree.root, tree.leaf(2), tree.prove(2))
+
+    def test_append_leaf_within_capacity_is_consistent_with_rebuild(self):
+        leaves = leaves_for(5)
+        incremental = MerkleTree(leaves[:3])
+        for leaf in leaves[3:]:
+            incremental.append_leaf(leaf)
+        rebuilt = MerkleTree(leaves)
+        assert incremental.root == rebuilt.root
+
+    def test_append_beyond_capacity_doubles(self):
+        leaves = leaves_for(4)
+        tree = MerkleTree(leaves)
+        tree.append_leaf(keccak(b"extra"))
+        assert tree.leaf_count == 5
+        assert verify_membership(tree.root, keccak(b"extra"), tree.prove(4))
+
+    def test_insert_and_remove_leaf(self):
+        tree = MerkleTree(leaves_for(4))
+        tree.insert_leaf(2, keccak(b"inserted"))
+        assert tree.leaf_count == 5
+        assert verify_membership(tree.root, keccak(b"inserted"), tree.prove(2))
+        tree.remove_leaf(2)
+        assert tree.leaf_count == 4
+        assert tree.root == MerkleTree(leaves_for(4)).root
+
+
+class TestRangeAndNonMembership:
+    def test_range_proof_verifies(self):
+        tree = MerkleTree(leaves_for(16))
+        proof = tree.prove_range(4, 5)
+        assert verify_range(tree.root, proof)
+
+    def test_empty_range_verifies(self):
+        tree = MerkleTree(leaves_for(4))
+        assert verify_range(tree.root, tree.prove_range(2, 0))
+
+    def test_tampered_range_fails(self):
+        tree = MerkleTree(leaves_for(16))
+        proof = tree.prove_range(4, 3)
+        tampered = type(proof)(
+            start_index=proof.start_index,
+            count=proof.count,
+            leaf_count=proof.leaf_count,
+            leaf_hashes=(keccak(b"x"),) + proof.leaf_hashes[1:],
+            boundary_proofs=proof.boundary_proofs,
+        )
+        assert not verify_range(tree.root, tampered)
+
+    def test_non_membership_between_adjacent_leaves(self):
+        tree = MerkleTree(leaves_for(8))
+        left = (tree.leaf(2), tree.prove(2))
+        right = (tree.leaf(3), tree.prove(3))
+        assert verify_non_membership(tree.root, left, right)
+        far_right = (tree.leaf(5), tree.prove(5))
+        assert not verify_non_membership(tree.root, left, far_right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=40, unique=True))
+def test_membership_holds_for_arbitrary_leaf_sets(values):
+    """Property: every committed value proves membership; no forged value does."""
+    tree = MerkleTree.from_values(values)
+    for index, value in enumerate(values):
+        assert verify_membership(tree.root, keccak(value), tree.prove(index))
+    assert not verify_membership(tree.root, keccak(b"\x00forged\xff"), tree.prove(0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(st.binary(min_size=1, max_size=8), min_size=2, max_size=24, unique=True),
+    st.data(),
+)
+def test_incremental_updates_match_rebuild(values, data):
+    """Property: a sequence of point updates yields the same root as rebuilding."""
+    tree = MerkleTree.from_values(values)
+    current = [keccak(v) for v in values]
+    for _ in range(5):
+        index = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+        new_value = data.draw(st.binary(min_size=1, max_size=8))
+        current[index] = keccak(new_value)
+        tree.update_leaf(index, keccak(new_value))
+    assert tree.root == MerkleTree(current).root

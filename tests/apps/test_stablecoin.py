@@ -1,0 +1,188 @@
+"""Tests for the ERC20 token and the SCoin stablecoin case study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.erc20 import ERC20Token
+from repro.apps.price_feed import PriceFeed, decode_price, encode_price
+from repro.apps.stablecoin import SCOIN_DECIMALS, build_stablecoin_deployment
+from repro.chain.chain import Blockchain, ChainParameters
+from repro.chain.accounts import WEI_PER_ETHER
+from repro.common.types import KVRecord, Operation
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem
+
+
+@pytest.fixture
+def token_chain():
+    chain = Blockchain(parameters=ChainParameters(finality_depth=2))
+    token = ERC20Token("token", name="Test", symbol="TST", minter="issuer")
+    chain.deploy(token)
+    return chain, token
+
+
+class TestERC20:
+    def test_mint_and_balance(self, token_chain):
+        chain, token = token_chain
+        chain.execute_internal_call("issuer", "token", "mint", recipient="alice", amount=100)
+        assert token.peek_balance("alice") == 100
+        assert token.total_supply == 100
+
+    def test_only_minter_may_mint(self, token_chain):
+        chain, token = token_chain
+        from repro.common.errors import ContractError
+
+        with pytest.raises(ContractError):
+            chain.execute_internal_call("mallory", "token", "mint", recipient="mallory", amount=1)
+
+    def test_transfer_moves_balances(self, token_chain):
+        chain, token = token_chain
+        chain.execute_internal_call("issuer", "token", "mint", recipient="alice", amount=100)
+        chain.execute_internal_call("alice", "token", "transfer", recipient="bob", amount=40)
+        assert token.peek_balance("alice") == 60
+        assert token.peek_balance("bob") == 40
+
+    def test_transfer_exceeding_balance_reverts(self, token_chain):
+        chain, token = token_chain
+        from repro.common.errors import ContractError
+
+        chain.execute_internal_call("issuer", "token", "mint", recipient="alice", amount=10)
+        with pytest.raises(ContractError):
+            chain.execute_internal_call("alice", "token", "transfer", recipient="bob", amount=20)
+
+    def test_approve_and_transfer_from(self, token_chain):
+        chain, token = token_chain
+        chain.execute_internal_call("issuer", "token", "mint", recipient="alice", amount=100)
+        chain.execute_internal_call("alice", "token", "approve", spender="broker", amount=50)
+        chain.execute_internal_call(
+            "broker", "token", "transfer_from", owner="alice", recipient="carol", amount=30
+        )
+        assert token.peek_balance("carol") == 30
+        assert chain.execute_call("x", "token", "allowance", owner="alice", spender="broker") == 20
+
+    def test_burn_reduces_supply(self, token_chain):
+        chain, token = token_chain
+        chain.execute_internal_call("issuer", "token", "mint", recipient="alice", amount=100)
+        chain.execute_internal_call("issuer", "token", "burn", owner="alice", amount=60)
+        assert token.total_supply == 40
+
+    def test_balance_changes_cost_storage_gas(self, token_chain):
+        chain, token = token_chain
+        before = chain.ledger.total
+        chain.execute_internal_call("issuer", "token", "mint", recipient="alice", amount=100)
+        assert chain.ledger.total - before >= 20_000  # at least one storage insert
+
+
+class TestPriceEncoding:
+    def test_round_trip(self):
+        assert decode_price(encode_price(151.25)) == pytest.approx(151.25)
+
+    def test_encoding_is_fixed_size(self):
+        assert len(encode_price(1.0, 32)) == 32
+        assert len(encode_price(99999.99, 64)) == 64
+
+
+@pytest.fixture
+def stablecoin():
+    config = GrubConfig(epoch_size=4, algorithm="memoryless", k=1)
+    system = GrubSystem(config, preload=[KVRecord.make("ETH-USD", encode_price(150.0))])
+    deployment = build_stablecoin_deployment(system)
+    deployment.accounts.create("buyer", ether=10.0)
+    deployment.accounts.create("seller", ether=0.0)
+    return deployment
+
+
+def settle(deployment):
+    """Flush the feed's deliver/update transactions so callbacks run."""
+    deployment.system.service_provider.service_epoch()
+    deployment.system.chain.mine_block()
+
+
+class TestSCoinIssuer:
+    def test_issue_mints_collateralised_scoin(self, stablecoin):
+        chain = stablecoin.system.chain
+        chain.execute_internal_call(
+            "buyer", "scoin-issuer", "issue", buyer="buyer", ether_amount=3.0, layer="application"
+        )
+        settle(stablecoin)
+        minted = stablecoin.token.peek_balance("buyer")
+        expected = int(3.0 * 150.0 / stablecoin.issuer.collateral_ratio * SCOIN_DECIMALS)
+        assert minted == expected
+        assert stablecoin.issuer.issues == 1
+        assert stablecoin.issuer.locked_collateral_wei == 3 * WEI_PER_ETHER
+
+    def test_redeem_returns_one_usd_of_ether_per_scoin(self, stablecoin):
+        chain = stablecoin.system.chain
+        chain.execute_internal_call(
+            "buyer", "scoin-issuer", "issue", buyer="buyer", ether_amount=3.0, layer="application"
+        )
+        settle(stablecoin)
+        scoin = stablecoin.token.peek_balance("buyer")
+        chain.execute_internal_call(
+            "buyer", "scoin-issuer", "redeem", seller="buyer", scoin_cents=scoin, layer="application"
+        )
+        settle(stablecoin)
+        assert stablecoin.token.peek_balance("buyer") == 0
+        returned_wei = stablecoin.accounts.balance_of("buyer") - 7 * WEI_PER_ETHER
+        expected_wei = int(scoin / SCOIN_DECIMALS / 150.0 * WEI_PER_ETHER)
+        assert returned_wei == pytest.approx(expected_wei, rel=1e-6)
+        assert stablecoin.issuer.redeems == 1
+
+    def test_issuance_tracks_price_changes(self, stablecoin):
+        chain = stablecoin.system.chain
+        stablecoin.feed.poke("ETH-USD", 300.0)
+        stablecoin.system.data_owner.end_epoch()
+        chain.mine_block()
+        chain.execute_internal_call(
+            "buyer", "scoin-issuer", "issue", buyer="buyer", ether_amount=1.0, layer="application"
+        )
+        settle(stablecoin)
+        assert stablecoin.token.peek_balance("buyer") == int(
+            1.0 * 300.0 / stablecoin.issuer.collateral_ratio * SCOIN_DECIMALS
+        )
+
+    def test_over_collateralisation_maintained(self, stablecoin):
+        chain = stablecoin.system.chain
+        chain.execute_internal_call(
+            "buyer", "scoin-issuer", "issue", buyer="buyer", ether_amount=2.0, layer="application"
+        )
+        settle(stablecoin)
+        ratio = stablecoin.issuer.collateralisation(current_price=150.0)
+        assert ratio == pytest.approx(stablecoin.issuer.collateral_ratio, rel=1e-3)
+
+    def test_redeem_without_balance_reverts(self, stablecoin):
+        from repro.common.errors import ContractError
+
+        with pytest.raises(ContractError):
+            stablecoin.system.chain.execute_internal_call(
+                "seller", "scoin-issuer", "redeem", seller="seller", scoin_cents=100, layer="application"
+            )
+
+    def test_feed_reads_generate_feed_layer_gas(self, stablecoin):
+        system = stablecoin.system
+        before_feed = system.chain.ledger.feed_total
+        before_app = system.chain.ledger.application_total
+        system.chain.execute_internal_call(
+            "buyer", "scoin-issuer", "issue", buyer="buyer", ether_amount=1.0, layer="application"
+        )
+        settle(stablecoin)
+        assert system.chain.ledger.feed_total > before_feed
+        assert system.chain.ledger.application_total > before_app
+
+
+class TestStablecoinOnWorkload:
+    def test_end_to_end_trace_run_with_stablecoin_consumer(self):
+        config = GrubConfig(epoch_size=8, algorithm="memoryless", k=1)
+        system = GrubSystem(config, preload=[KVRecord.make("ETH-USD", encode_price(150.0))])
+        deployment = build_stablecoin_deployment(system)
+        deployment.accounts.create("buyer", ether=100.0)
+        ops = []
+        for index in range(6):
+            ops.append(Operation.write("ETH-USD", encode_price(150.0 + index)))
+            ops.append(Operation.read("ETH-USD"))
+        report = system.run(ops)
+        assert report.operations == 12
+        assert report.gas_feed > 0
+        # The default on_data callback of the issuer records generic reads.
+        assert deployment.issuer.deliveries() >= 1

@@ -1,0 +1,157 @@
+"""Unit tests for the blockchain simulator: transactions, blocks, events, finality."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Blockchain, ChainParameters
+from repro.chain.contract import Contract
+from repro.chain.accounts import AccountRegistry, WEI_PER_ETHER
+from repro.chain.transaction import Transaction
+from repro.common.errors import ContractError, ReproError
+
+
+class CounterContract(Contract):
+    """Tiny contract used to exercise the execution machinery."""
+
+    def increment(self, ctx, by: int = 1):
+        current = self.storage.load(ctx.meter, "count")
+        value = (int.from_bytes(current, "big") if current else 0) + by
+        self.storage.store(ctx.meter, "count", value.to_bytes(32, "big"))
+        self.emit(ctx, "Incremented", by=by, value=value)
+        return value
+
+    def fail(self, ctx):
+        self.storage.store(ctx.meter, "poison", b"\x01")
+        self.require(False, "always fails")
+
+
+@pytest.fixture
+def deployed_chain(chain):
+    chain.deploy(CounterContract("counter"))
+    return chain
+
+
+class TestDeployment:
+    def test_duplicate_address_rejected(self, deployed_chain):
+        with pytest.raises(ReproError):
+            deployed_chain.deploy(CounterContract("counter"))
+
+    def test_unknown_contract_lookup_fails(self, chain):
+        with pytest.raises(ReproError):
+            chain.get_contract("ghost")
+
+
+class TestExecution:
+    def test_transaction_executes_and_charges_intrinsic_gas(self, deployed_chain):
+        tx = Transaction(sender="alice", contract="counter", function="increment",
+                         args={"by": 2}, calldata_bytes=32)
+        deployed_chain.submit(tx)
+        block = deployed_chain.mine_block()
+        receipt = block.receipts[0]
+        assert receipt.success
+        assert receipt.return_value == 2
+        assert receipt.gas_used >= deployed_chain.schedule.transaction_cost(1)
+
+    def test_revert_rolls_back_storage_but_consumes_gas(self, deployed_chain):
+        deployed_chain.submit(Transaction(sender="a", contract="counter", function="fail"))
+        block = deployed_chain.mine_block()
+        receipt = block.receipts[0]
+        assert not receipt.success
+        assert receipt.error is not None
+        assert receipt.gas_used > 0
+        counter = deployed_chain.get_contract("counter")
+        assert not counter.storage.has("poison")
+
+    def test_unknown_function_reverts(self, deployed_chain):
+        deployed_chain.submit(Transaction(sender="a", contract="counter", function="nope"))
+        receipt = deployed_chain.mine_block().receipts[0]
+        assert not receipt.success
+
+    def test_events_appear_in_log_only_after_mining(self, deployed_chain):
+        deployed_chain.submit(Transaction(sender="a", contract="counter", function="increment"))
+        assert len(deployed_chain.event_log) == 0
+        deployed_chain.mine_block()
+        events = deployed_chain.event_log.filter(name="Incremented")
+        assert len(events) == 1
+        assert events[0].payload["value"] == 1
+
+    def test_reverted_transaction_emits_no_events(self, deployed_chain):
+        deployed_chain.submit(Transaction(sender="a", contract="counter", function="fail"))
+        deployed_chain.mine_block()
+        assert len(deployed_chain.event_log) == 0
+
+    def test_internal_call_charges_global_ledger_without_base(self, deployed_chain):
+        before = deployed_chain.ledger.total
+        deployed_chain.execute_internal_call("user", "counter", "increment")
+        delta = deployed_chain.ledger.total - before
+        assert delta > 0
+        # No intrinsic transaction cost is charged for an internal call.
+        assert deployed_chain.ledger.by_category.get("transaction", 0) == 0
+
+    def test_execute_call_does_not_charge_global_ledger(self, deployed_chain):
+        before = deployed_chain.ledger.total
+        deployed_chain.execute_call("user", "counter", "increment")
+        assert deployed_chain.ledger.total == before
+
+    def test_internal_call_events_reach_log_immediately(self, deployed_chain):
+        deployed_chain.execute_internal_call("user", "counter", "increment")
+        assert deployed_chain.event_log.latest("Incremented") is not None
+
+
+class TestTimingAndFinality:
+    def test_block_interval_advances_clock(self, chain):
+        start = chain.clock.now
+        chain.mine_block()
+        assert chain.clock.now == start + chain.parameters.block_interval
+
+    def test_finality_requires_depth_blocks(self, chain):
+        chain.mine_block()  # block 1
+        assert not chain.is_finalized(1)
+        for _ in range(chain.parameters.finality_depth):
+            chain.mine_block()
+        assert chain.is_finalized(1)
+
+    def test_finality_delay_formula(self):
+        params = ChainParameters(block_interval=14.0, propagation_delay=1.0, finality_depth=250)
+        chain = Blockchain(parameters=params)
+        assert chain.finality_delay() == pytest.approx(1.0 + 14.0 * 250)
+
+    def test_block_hash_links_to_parent(self, chain):
+        first = chain.mine_block()
+        second = chain.mine_block()
+        assert second.parent_hash == first.block_hash
+
+    def test_receipt_lookup(self, deployed_chain):
+        tx = Transaction(sender="a", contract="counter", function="increment")
+        deployed_chain.submit(tx)
+        deployed_chain.mine_block()
+        assert deployed_chain.receipt_for(tx.txid).success
+
+
+class TestAccounts:
+    def test_create_and_fund(self):
+        accounts = AccountRegistry()
+        accounts.create("alice", ether=2.0)
+        assert accounts.balance_in_ether("alice") == pytest.approx(2.0)
+
+    def test_transfer_moves_wei(self):
+        accounts = AccountRegistry()
+        accounts.create("alice", ether=1.0)
+        accounts.create("bob")
+        accounts.transfer("alice", "bob", WEI_PER_ETHER // 2)
+        assert accounts.balance_of("bob") == WEI_PER_ETHER // 2
+
+    def test_insufficient_funds_reverts(self):
+        accounts = AccountRegistry()
+        accounts.create("alice", ether=0.1)
+        with pytest.raises(ContractError):
+            accounts.transfer("alice", "bob", WEI_PER_ETHER)
+
+    def test_total_supply_conserved_by_transfers(self):
+        accounts = AccountRegistry()
+        accounts.create("alice", ether=3.0)
+        accounts.create("bob", ether=1.0)
+        total = accounts.total_supply()
+        accounts.transfer("alice", "bob", WEI_PER_ETHER)
+        assert accounts.total_supply() == total

@@ -1,0 +1,165 @@
+"""Unit tests for the shared encoding, hashing and clock primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.clock import SimulatedClock
+from repro.common.encoding import (
+    WORD_SIZE_BYTES,
+    decode_value,
+    encode_value,
+    pad_to_word,
+    words_for_bytes,
+    words_for_value,
+)
+from repro.common.hashing import (
+    combine_digests,
+    hash_pair,
+    hash_record,
+    hash_words,
+    keccak,
+    sign_digest,
+    verify_signature,
+)
+
+
+class TestWordAccounting:
+    def test_zero_bytes_is_zero_words(self):
+        assert words_for_bytes(0) == 0
+
+    def test_one_byte_rounds_up_to_one_word(self):
+        assert words_for_bytes(1) == 1
+
+    def test_exact_word_boundary(self):
+        assert words_for_bytes(WORD_SIZE_BYTES) == 1
+        assert words_for_bytes(WORD_SIZE_BYTES + 1) == 2
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            words_for_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=1_000_000))
+    def test_words_cover_bytes(self, num_bytes):
+        words = words_for_bytes(num_bytes)
+        assert words * WORD_SIZE_BYTES >= num_bytes
+        assert (words - 1) * WORD_SIZE_BYTES < num_bytes or words == 0
+
+
+class TestEncodeDecode:
+    def test_bytes_pass_through(self):
+        assert encode_value(b"abc") == b"abc"
+
+    def test_string_round_trip(self):
+        assert decode_value(encode_value("héllo"), str) == "héllo"
+
+    def test_int_round_trip(self):
+        assert decode_value(encode_value(123456), int) == 123456
+
+    def test_int_occupies_at_least_one_word(self):
+        assert len(encode_value(1)) == WORD_SIZE_BYTES
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            encode_value(-1)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(1.5)  # type: ignore[arg-type]
+
+    def test_unsupported_decode_kind_rejected(self):
+        with pytest.raises(TypeError):
+            decode_value(b"x", float)  # type: ignore[arg-type]
+
+    def test_words_for_value_counts_encoded_size(self):
+        assert words_for_value(b"a" * 33) == 2
+        assert words_for_value("abc") == 1
+
+    def test_pad_to_word_multiple(self):
+        assert len(pad_to_word(b"abc")) == WORD_SIZE_BYTES
+        assert pad_to_word(b"a" * 32) == b"a" * 32
+
+    @given(st.binary(max_size=200))
+    def test_padding_preserves_prefix(self, data):
+        padded = pad_to_word(data)
+        assert padded.startswith(data)
+        assert len(padded) % WORD_SIZE_BYTES == 0 or len(padded) == 0
+
+
+class TestHashing:
+    def test_keccak_is_32_bytes(self):
+        assert len(keccak(b"x")) == 32
+
+    def test_hash_pair_is_order_sensitive(self):
+        a, b = keccak(b"a"), keccak(b"b")
+        assert hash_pair(a, b) != hash_pair(b, a)
+
+    def test_hash_words_field_boundaries_matter(self):
+        assert hash_words(b"ab", b"c") != hash_words(b"a", b"bc")
+
+    def test_hash_record_binds_state_prefix(self):
+        assert hash_record("k", b"v", "R") != hash_record("k", b"v", "NR")
+
+    def test_combine_digests_is_order_sensitive(self):
+        a, b = keccak(b"a"), keccak(b"b")
+        assert combine_digests([a, b]) != combine_digests([b, a])
+
+    def test_signature_verifies_with_correct_key(self):
+        secret = b"s" * 32
+        digest = keccak(b"root")
+        signature = sign_digest(secret, digest)
+        assert verify_signature(secret, digest, signature)
+
+    def test_signature_rejects_wrong_key(self):
+        digest = keccak(b"root")
+        signature = sign_digest(b"a" * 32, digest)
+        assert not verify_signature(b"b" * 32, digest, signature)
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_distinct_inputs_distinct_digests(self, left, right):
+        if left != right:
+            assert keccak(left) != keccak(right)
+
+
+class TestSimulatedClock:
+    def test_advance_moves_time(self):
+        clock = SimulatedClock()
+        clock.advance(5)
+        assert clock.now == 5
+
+    def test_cannot_go_backwards(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_scheduled_callbacks_fire_in_order(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(3, lambda: fired.append("late"))
+        clock.schedule(1, lambda: fired.append("early"))
+        clock.advance(5)
+        assert fired == ["early", "late"]
+
+    def test_callback_outside_window_does_not_fire(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(10, lambda: fired.append("x"))
+        clock.advance(5)
+        assert fired == []
+        assert clock.pending == 1
+
+    def test_nested_scheduling_fires_within_same_advance(self):
+        clock = SimulatedClock()
+        fired = []
+        clock.schedule(1, lambda: clock.schedule(1, lambda: fired.append("nested")))
+        clock.advance(3)
+        assert fired == ["nested"]
+
+    def test_reset(self):
+        clock = SimulatedClock()
+        clock.schedule(1, lambda: None)
+        clock.advance(0.5)
+        clock.reset()
+        assert clock.now == 0
+        assert clock.pending == 0

@@ -1,0 +1,76 @@
+"""Unit tests for the core datatypes (records, operations, replication state)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.types import EpochSummary, KVRecord, Operation, OperationKind, ReplicationState
+
+
+class TestReplicationState:
+    def test_prefixes(self):
+        assert ReplicationState.REPLICATED.prefix == "R"
+        assert ReplicationState.NOT_REPLICATED.prefix == "NR"
+
+    def test_flipped_is_involution(self):
+        for state in ReplicationState:
+            assert state.flipped().flipped() is state
+
+
+class TestOperation:
+    def test_write_factory_encodes_value(self):
+        op = Operation.write("k", "value")
+        assert op.is_write and not op.is_read
+        assert op.value == b"value"
+        assert op.size_bytes == 5
+
+    def test_read_factory(self):
+        op = Operation.read("k", size_bytes=64)
+        assert op.is_read and not op.is_write
+        assert op.size_words == 2
+
+    def test_scan_factory_clamps_length(self):
+        op = Operation.scan("k", 0)
+        assert op.scan_length == 1
+        assert op.kind is OperationKind.SCAN
+        assert op.is_read
+
+    def test_size_words_rounds_up_and_is_at_least_one(self):
+        assert Operation.read("k", size_bytes=1).size_words == 1
+        assert Operation.read("k", size_bytes=33).size_words == 2
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_size_words_consistent(self, size):
+        op = Operation.read("k", size_bytes=size)
+        assert op.size_words >= 1
+        assert (op.size_words - 1) * 32 <= max(size, 1)
+
+
+class TestKVRecord:
+    def test_prefixed_key_contains_state(self):
+        record = KVRecord.make("eth", b"100")
+        assert record.prefixed_key == "NR|eth"
+        assert record.with_state(ReplicationState.REPLICATED).prefixed_key == "R|eth"
+
+    def test_with_value_bumps_version(self):
+        record = KVRecord.make("eth", b"100")
+        updated = record.with_value(b"101")
+        assert updated.version == record.version + 1
+        assert updated.value == b"101"
+        assert record.value == b"100"  # original untouched
+
+    def test_size_words_at_least_one(self):
+        assert KVRecord.make("k", b"").size_words == 1
+        assert KVRecord.make("k", b"a" * 64).size_words == 2
+
+
+class TestEpochSummary:
+    def test_gas_per_operation_handles_zero_ops(self):
+        summary = EpochSummary(index=0)
+        assert summary.gas_per_operation == 0.0
+
+    def test_totals(self):
+        summary = EpochSummary(index=1, operations=4, gas_feed=400, gas_application=100)
+        assert summary.gas_total == 500
+        assert summary.gas_per_operation == 100.0
