@@ -1,0 +1,146 @@
+"""Multi-tenant gateway: N hosted feeds versus N isolated deployments.
+
+Sweeps the fleet size from 1 to 64 feeds.  For each N, the same per-feed
+workloads are driven (a) through one gateway — shared chain, shared watchdog,
+cross-feed batched delivers/updates, consumer-side read cache — and (b)
+through N isolated single-feed ``GrubSystem`` deployments.  Reported per N:
+total feed-layer gas/op for both, the hosting saving, the gateway's wall-clock
+ops/sec and cache hit rate; the 32-feed row additionally prints the per-feed
+telemetry table (each tenant's exact bill, including its share of batched
+transactions).
+
+Runs under pytest (the repo's benchmark harness) or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_multitenant_gateway.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_multitenant_gateway.py --smoke    # <60s CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, Sequence
+
+from repro.analysis.experiments import (
+    GatewayComparisonResult,
+    run_multitenant_gateway_experiment,
+)
+from repro.analysis.reporting import format_rate, format_table
+
+FULL_SWEEP = (1, 4, 8, 16, 32, 64)
+SMOKE_SWEEP = (1, 4, 8)
+DETAIL_FLEET = 32  # the acceptance-criterion fleet size
+
+
+def run_sweep(
+    feed_counts: Sequence[int],
+    *,
+    operations_per_feed: int = 256,
+    num_shards: int = 1,
+    detail_fleet: int = DETAIL_FLEET,
+) -> Dict[int, GatewayComparisonResult]:
+    results: Dict[int, GatewayComparisonResult] = {}
+    for num_feeds in feed_counts:
+        results[num_feeds] = run_multitenant_gateway_experiment(
+            num_feeds,
+            operations_per_feed=operations_per_feed,
+            num_shards=num_shards,
+        )
+    print()
+    rows = []
+    for num_feeds, result in results.items():
+        rows.append(
+            (
+                num_feeds,
+                round(result.gateway_gas_per_operation),
+                round(result.isolated_gas_per_operation),
+                f"{result.saving * 100:+.1f}%",
+                format_rate(result.fleet.ops_per_second, "ops/s"),
+                f"{result.fleet.cache_hit_rate * 100:.1f}%",
+            )
+        )
+    print(
+        format_table(
+            ["feeds", "gateway gas/op", "isolated gas/op", "saving", "throughput", "cache hit"],
+            rows,
+            title="Multi-tenant gateway vs isolated single-feed deployments",
+        )
+    )
+    detail = results.get(detail_fleet)
+    if detail is not None:
+        print()
+        print(detail.fleet.format_report(title=f"Per-feed telemetry — {detail_fleet} feeds"))
+    return results
+
+
+def check_expectations(results: Dict[int, GatewayComparisonResult]) -> None:
+    """The properties the sweep must exhibit (assertion-checked in CI)."""
+    # Hosting several feeds must beat isolating them: the batched base cost
+    # is split N ways and hot replicated reads are served from the cache.
+    for num_feeds, result in results.items():
+        if num_feeds >= 4:
+            assert result.gateway_gas_feed < result.isolated_gas_feed, (
+                f"{num_feeds} hosted feeds should be cheaper than isolation"
+            )
+            assert result.fleet.cache_hit_rate > 0.0
+    # Amortisation improves with fleet size: the largest fleet saves at least
+    # as much as the smallest multi-feed fleet, within noise.
+    multi = [results[n].saving for n in sorted(results) if n >= 4]
+    if len(multi) >= 2:
+        assert multi[-1] >= multi[0] - 0.02
+
+
+def test_multitenant_gateway(benchmark):
+    """Pytest entry: run the sweep once under the benchmark harness."""
+    import os
+
+    sweep = SMOKE_SWEEP if os.environ.get("GRUB_BENCH_SCALE") == "quick" else FULL_SWEEP
+    results = benchmark.pedantic(run_sweep, args=(sweep,), rounds=1, iterations=1)
+    check_expectations(results)
+    if DETAIL_FLEET in results:
+        result = results[DETAIL_FLEET]
+        assert result.gateway_gas_per_operation < result.isolated_gas_per_operation
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--feeds",
+        type=int,
+        nargs="*",
+        default=None,
+        help="fleet sizes to sweep (default: 1 4 8 16 32 64)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=256, help="operations per feed (default 256)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, help="gateway shards (default 1)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sweep for CI (1, 4, 8 feeds at 128 ops/feed)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        feed_counts: Sequence[int] = SMOKE_SWEEP
+        operations = min(args.ops, 128)
+        detail = SMOKE_SWEEP[-1]
+    else:
+        feed_counts = tuple(args.feeds) if args.feeds else FULL_SWEEP
+        operations = args.ops
+        detail = DETAIL_FLEET if DETAIL_FLEET in feed_counts else feed_counts[-1]
+    started = time.perf_counter()
+    results = run_sweep(
+        feed_counts,
+        operations_per_feed=operations,
+        num_shards=args.shards,
+        detail_fleet=detail,
+    )
+    check_expectations(results)
+    print(f"\nsweep completed in {time.perf_counter() - started:.1f}s; expectations hold")
+
+
+if __name__ == "__main__":
+    main()

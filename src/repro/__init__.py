@@ -16,7 +16,10 @@ Data Replication* (Middleware 2020).  It provides:
 * ``repro.workloads`` — the workload generators used in the evaluation
   (ethPriceOracle trace, BtcRelay trace, YCSB A/B/E/F, synthetic ratios),
 * ``repro.analysis`` — experiment runners that regenerate every table and
-  figure in the paper's evaluation section.
+  figure in the paper's evaluation section,
+* ``repro.gateway`` — the multi-tenant hosting runtime: many feeds on one
+  shared chain with cross-feed transaction batching, a shared SP watchdog, a
+  consumer-side read cache, and per-feed gas/throughput telemetry.
 
 Quickstart::
 

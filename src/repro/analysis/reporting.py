@@ -80,6 +80,15 @@ def format_gas(value: float) -> str:
     return f"{value:.0f}"
 
 
+def format_rate(value: float, unit: str) -> str:
+    """Render a throughput figure (``12.3k ops/s`` style, SI-suffixed)."""
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M {unit}"
+    if value >= 1_000:
+        return f"{value / 1_000:.1f}k {unit}"
+    return f"{value:,.1f} {unit}"
+
+
 def format_distribution(distribution: Mapping[int, float], title: str) -> str:
     """Render a reads-per-write distribution like the paper's Tables 1 and 6."""
     rows = [(count, f"{fraction * 100:.2f}%") for count, fraction in sorted(distribution.items())]

@@ -21,7 +21,7 @@ from typing import Any, Dict, List, Optional
 from repro.chain.block import Block
 from repro.chain.contract import Contract
 from repro.chain.events import EventLog, LogEvent
-from repro.chain.gas import GasLedger, GasSchedule, LAYER_FEED
+from repro.chain.gas import GasLedger, GasSchedule, LAYER_FEED, split_transaction_cost
 from repro.chain.transaction import Transaction, TransactionReceipt
 from repro.chain.vm import ExecutionContext, GasMeter
 from repro.common.clock import SimulatedClock
@@ -81,6 +81,17 @@ class Blockchain:
             raise ReproError(f"address {contract.address} already in use")
         self.contracts[contract.address] = contract
         contract.on_deploy(self)
+        return contract
+
+    def undeploy(self, address: str) -> Contract:
+        """Remove a contract from the chain (EVM ``selfdestruct`` analogue).
+
+        History (blocks, receipts, events) is untouched; the address simply
+        becomes free again — the gateway uses this when a hosted feed leaves,
+        so a later tenant can reuse the feed id.
+        """
+        contract = self.get_contract(address)
+        del self.contracts[address]
         return contract
 
     def get_contract(self, address: str) -> Contract:
@@ -172,6 +183,7 @@ class Blockchain:
         function: str,
         *,
         layer: str = LAYER_FEED,
+        scope: Optional[str] = None,
         gas_limit: Optional[int] = None,
         **kwargs: Any,
     ) -> Any:
@@ -181,12 +193,18 @@ class Blockchain:
         being executed anyway inside an application transaction whose base
         cost is not attributable to the data feed, so the feed-layer gas of a
         read is the marginal gas of the ``gGet`` internal call.  The gas is
-        charged to the chain's global ledger and any emitted events are
-        appended to the event log immediately (the enclosing transaction is
-        committed within the current block).
+        charged to the chain's global ledger (billed to ``scope`` when given)
+        and any emitted events are appended to the event log immediately (the
+        enclosing transaction is committed within the current block).
         """
         contract = self.get_contract(contract_address)
-        meter = GasMeter(schedule=self.schedule, ledger=self.ledger, limit=gas_limit, layer=layer)
+        meter = GasMeter(
+            schedule=self.schedule,
+            ledger=self.ledger,
+            limit=gas_limit,
+            layer=layer,
+            scope=scope,
+        )
         ctx = ExecutionContext(
             sender=sender,
             meter=meter,
@@ -216,6 +234,7 @@ class Blockchain:
             ledger=self.ledger,
             limit=transaction.gas_limit or self.parameters.default_gas_limit,
             layer=transaction.layer,
+            scope=transaction.scope,
         )
         ctx = ExecutionContext(
             sender=transaction.sender,
@@ -224,15 +243,28 @@ class Blockchain:
             timestamp=self.clock.now,
             value=transaction.value,
         )
-        snapshot = contract.storage.snapshot()
+        # Journal writes on every deployed contract, not just the target: the
+        # target may fan out internal calls (callbacks, the gateway router's
+        # batched groups), and a revert must undo those writes too, as the
+        # EVM would.  Journalling is O(writes) per transaction; contracts the
+        # transaction never touches only pay an empty begin/commit.
+        for deployed in self.contracts.values():
+            deployed.storage.begin_tx()
         error: Optional[str] = None
         return_value: Any = None
         success = True
         try:
-            meter.charge(
-                self.schedule.transaction_cost(transaction.calldata_words),
-                "transaction",
-            )
+            if transaction.scopes:
+                # A batched gateway transaction: bill each served tenant its
+                # calldata words plus an even share of the transaction base.
+                shares = split_transaction_cost(self.schedule, transaction.scopes)
+                for scope_name in sorted(shares):
+                    meter.charge(shares[scope_name], "transaction", scope=scope_name)
+            else:
+                meter.charge(
+                    self.schedule.transaction_cost(transaction.calldata_words),
+                    "transaction",
+                )
             method = getattr(contract, transaction.function, None)
             if method is None:
                 raise ContractError(
@@ -242,8 +274,12 @@ class Blockchain:
         except (ContractError, OutOfGasError) as exc:
             success = False
             error = str(exc)
-            contract.storage.restore(snapshot)
+            for deployed in self.contracts.values():
+                deployed.storage.rollback_tx()
             ctx.emitted.clear()
+        finally:
+            for deployed in self.contracts.values():
+                deployed.storage.commit_tx()
         events = [
             LogEvent(
                 contract=event.contract,

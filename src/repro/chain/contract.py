@@ -67,11 +67,17 @@ class Contract:
         callee: "Contract",
         function: str,
         layer: Optional[str] = None,
+        scope: Optional[str] = None,
         **kwargs: Any,
     ) -> Any:
-        """Perform an internal call to another deployed contract."""
-        ctx.meter.charge(ctx.meter.schedule.call_cost(), "call", layer or ctx.meter.layer)
-        child = ctx.child(sender=self.address, layer=layer)
+        """Perform an internal call to another deployed contract.
+
+        ``layer`` and ``scope`` override the gas attribution of the nested
+        call (application callbacks bill the application layer; a gateway
+        router bills each tenant's group to that tenant's scope).
+        """
+        child = ctx.child(sender=self.address, layer=layer, scope=scope)
+        child.meter.charge(child.meter.schedule.call_cost(), "call")
         method = getattr(callee, function, None)
         if method is None:
             raise ContractError(f"{callee.address} has no function {function!r}")

@@ -20,14 +20,18 @@ turns it on.
 
 :class:`GasLedger` attributes consumed gas to named categories and layers so
 experiments can report feed-layer versus application-layer gas the way the
-paper's Table 3 does.
+paper's Table 3 does.  It additionally attributes gas to *scopes* — free-form
+tenant identifiers (one per hosted feed in the multi-tenant gateway) — so a
+fleet of feeds sharing one chain can each be billed exactly the gas they
+caused, including their fair share of batched transactions that serve several
+feeds at once (see :func:`split_transaction_cost`).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.common.encoding import words_for_bytes
 
@@ -150,24 +154,49 @@ class GasLedger:
     refunded: int = 0
     by_category: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     by_layer: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: (scope, layer) → gas.  A scope is a tenant identifier (a feed id in the
+    #: multi-tenant gateway); charges with ``scope=None`` are not scoped.
+    by_scope: Dict[Tuple[str, str], int] = field(default_factory=lambda: defaultdict(int))
 
-    def charge(self, amount: int, category: str, layer: str = LAYER_FEED) -> int:
+    def charge(
+        self,
+        amount: int,
+        category: str,
+        layer: str = LAYER_FEED,
+        scope: Optional[str] = None,
+    ) -> int:
         """Record ``amount`` gas against ``category`` within ``layer``."""
         if amount < 0:
             raise ValueError("gas charges must be non-negative")
         self.total += amount
         self.by_category[category] += amount
         self.by_layer[layer] += amount
+        if scope is not None:
+            self.by_scope[(scope, layer)] += amount
         return amount
 
-    def refund(self, amount: int, layer: str = LAYER_FEED) -> int:
+    def refund(self, amount: int, layer: str = LAYER_FEED, scope: Optional[str] = None) -> int:
         """Record a refund (subtracted from the layer and grand totals)."""
         if amount < 0:
             raise ValueError("refunds must be non-negative")
         self.refunded += amount
         self.total -= amount
         self.by_layer[layer] -= amount
+        if scope is not None:
+            self.by_scope[(scope, layer)] -= amount
         return amount
+
+    def scope_total(self, scope: str, layer: Optional[str] = None) -> int:
+        """Gas attributed to ``scope`` (within ``layer``, or across all layers)."""
+        if layer is not None:
+            return self.by_scope.get((scope, layer), 0)
+        return sum(
+            amount for (owner, _), amount in self.by_scope.items() if owner == scope
+        )
+
+    def scopes(self) -> List[str]:
+        """All scope identifiers that have been charged, sorted."""
+        return sorted({owner for owner, _ in self.by_scope})
 
     def layer_total(self, layer: str) -> int:
         return self.by_layer.get(layer, 0)
@@ -186,6 +215,7 @@ class GasLedger:
             total=self.total,
             by_layer=dict(self.by_layer),
             by_category=dict(self.by_category),
+            by_scope=dict(self.by_scope),
         )
 
     def merge(self, other: "GasLedger") -> None:
@@ -196,6 +226,8 @@ class GasLedger:
             self.by_category[category] += amount
         for layer, amount in other.by_layer.items():
             self.by_layer[layer] += amount
+        for scope_layer, amount in other.by_scope.items():
+            self.by_scope[scope_layer] += amount
 
 
 @dataclass(frozen=True)
@@ -205,6 +237,7 @@ class GasLedgerSnapshot:
     total: int
     by_layer: Mapping[str, int]
     by_category: Mapping[str, int]
+    by_scope: Mapping[Tuple[str, str], int] = field(default_factory=dict)
 
     def delta(self, ledger: GasLedger) -> "GasDelta":
         layers = {
@@ -215,7 +248,16 @@ class GasLedgerSnapshot:
             cat: ledger.by_category.get(cat, 0) - self.by_category.get(cat, 0)
             for cat in set(ledger.by_category) | set(self.by_category)
         }
-        return GasDelta(total=ledger.total - self.total, by_layer=layers, by_category=categories)
+        scopes = {
+            key: ledger.by_scope.get(key, 0) - self.by_scope.get(key, 0)
+            for key in set(ledger.by_scope) | set(self.by_scope)
+        }
+        return GasDelta(
+            total=ledger.total - self.total,
+            by_layer=layers,
+            by_category=categories,
+            by_scope=scopes,
+        )
 
 
 @dataclass(frozen=True)
@@ -225,9 +267,47 @@ class GasDelta:
     total: int
     by_layer: Mapping[str, int]
     by_category: Mapping[str, int]
+    by_scope: Mapping[Tuple[str, str], int] = field(default_factory=dict)
 
     def layer(self, name: str) -> int:
         return self.by_layer.get(name, 0)
+
+    def scope(self, name: str, layer: Optional[str] = None) -> int:
+        if layer is not None:
+            return self.by_scope.get((name, layer), 0)
+        return sum(amount for (owner, _), amount in self.by_scope.items() if owner == name)
+
+
+def split_transaction_cost(
+    schedule: GasSchedule, calldata_by_scope: Mapping[str, int]
+) -> Dict[str, int]:
+    """Split a batched transaction's intrinsic cost across the scopes it serves.
+
+    A gateway transaction (a cross-feed ``deliver`` or ``update`` batch)
+    carries one group of calldata per feed.  Each feed owes exactly the
+    calldata-word cost of its own group (each group is ABI-rounded to whole
+    words, as it would be on a real chain), while the 21k transaction *base*
+    cost — the amortisable part — is divided evenly across the feeds served,
+    with any integer remainder assigned to the lexicographically first feeds
+    so the shares always sum to the charged total (no gas is double-counted
+    and none is dropped).
+
+    Returns scope → gas share; the transaction's total intrinsic cost is the
+    sum of the shares.
+    """
+    if not calldata_by_scope:
+        raise ValueError("cannot split a transaction across zero scopes")
+    scopes = sorted(calldata_by_scope)
+    base_share, base_remainder = divmod(schedule.transaction_base, len(scopes))
+    shares: Dict[str, int] = {}
+    for index, scope in enumerate(scopes):
+        words = words_for_bytes(max(0, calldata_by_scope[scope]))
+        shares[scope] = (
+            base_share
+            + (1 if index < base_remainder else 0)
+            + schedule.transaction_word * words
+        )
+    return shares
 
 
 def summarise_categories(ledgers: Iterable[GasLedger]) -> Dict[str, int]:

@@ -17,6 +17,9 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.chain.vm import GasMeter
 from repro.common.encoding import encode_value, words_for_bytes, Value
 
+#: Journal marker for "the slot did not exist before this transaction".
+_ABSENT = object()
+
 
 @dataclass
 class ContractStorage:
@@ -26,6 +29,35 @@ class ContractStorage:
     writes: int = 0
     reads: int = 0
     deletes: int = 0
+    #: Undo journal of the transaction currently executing (``None`` outside
+    #: one): slot → its pre-transaction value, or ``_ABSENT``.  Only the first
+    #: write of a slot per transaction is journalled, so a revert is O(writes)
+    #: instead of a full-storage copy.
+    _journal: Optional[Dict[str, object]] = field(default=None, repr=False)
+
+    # -- transaction revert bookkeeping -------------------------------------
+
+    def begin_tx(self) -> None:
+        """Start journalling writes so a failed transaction can roll back."""
+        self._journal = {}
+
+    def commit_tx(self) -> None:
+        """Discard the journal (the transaction succeeded)."""
+        self._journal = None
+
+    def rollback_tx(self) -> None:
+        """Undo every write journalled since :meth:`begin_tx`."""
+        if self._journal:
+            for slot, previous in self._journal.items():
+                if previous is _ABSENT:
+                    self.slots.pop(slot, None)
+                else:
+                    self.slots[slot] = previous  # type: ignore[assignment]
+        self._journal = None
+
+    def _record(self, slot: str) -> None:
+        if self._journal is not None and slot not in self._journal:
+            self._journal[slot] = self.slots.get(slot, _ABSENT)
 
     def store(self, meter: GasMeter, slot: str, value: Value) -> None:
         """Write ``value`` into ``slot`` charging insert or update pricing."""
@@ -36,6 +68,7 @@ class ContractStorage:
             meter.charge(schedule.storage_update_cost(words), "sstore_update")
         else:
             meter.charge(schedule.storage_insert_cost(words), "sstore_insert")
+        self._record(slot)
         self.slots[slot] = encoded
         self.writes += 1
 
@@ -52,6 +85,7 @@ class ContractStorage:
         encoded = encode_value(value)
         words = max(1, words_for_bytes(len(encoded)))
         meter.charge(meter.schedule.storage_update_cost(words), "sstore_update")
+        self._record(slot)
         self.slots[slot] = encoded
         self.writes += 1
 
@@ -78,6 +112,7 @@ class ContractStorage:
         refund = meter.schedule.storage_refund(words)
         if refund:
             meter.refund(refund)
+        self._record(slot)
         del self.slots[slot]
         self.deletes += 1
         return True

@@ -32,6 +32,14 @@ class Transaction:
     value: int = 0
     gas_limit: Optional[int] = None
     layer: str = "feed"
+    #: Tenant the transaction's gas is billed to (a feed id in the gateway);
+    #: ``None`` leaves the gas unscoped, as in single-feed deployments.
+    scope: Optional[str] = None
+    #: For batched gateway transactions serving several tenants: scope →
+    #: calldata bytes of that tenant's group.  When set, the intrinsic cost is
+    #: split across the scopes (see ``split_transaction_cost``) instead of
+    #: being billed to ``scope``.
+    scopes: Optional[Dict[str, int]] = None
     txid: int = field(default_factory=lambda: next(_transaction_counter))
     submitted_at: float = 0.0
 

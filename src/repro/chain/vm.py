@@ -30,23 +30,55 @@ class GasMeter:
     limit: Optional[int] = None
     used: int = 0
     layer: str = LAYER_FEED
+    #: Tenant identifier the charges are billed to (a feed id in the
+    #: multi-tenant gateway); ``None`` leaves charges unscoped.
+    scope: Optional[str] = None
+    #: The meter this one was forked from (layer/scope-override internal
+    #: calls).  Charges propagate up so the enclosing transaction's
+    #: ``gas_used`` and gas limit still cover the nested execution.
+    parent: Optional["GasMeter"] = None
 
-    def charge(self, amount: int, category: str, layer: Optional[str] = None) -> int:
-        """Consume ``amount`` gas, attributing it to ``category``."""
+    def charge(
+        self,
+        amount: int,
+        category: str,
+        layer: Optional[str] = None,
+        scope: Optional[str] = None,
+    ) -> int:
+        """Consume ``amount`` gas, attributing it to ``category``.
+
+        ``layer`` and ``scope`` override the meter's own attribution for this
+        one charge (``scope`` is used when splitting a batched transaction's
+        intrinsic cost across the tenants it serves).
+        """
         if amount < 0:
             raise ValueError("gas charges must be non-negative")
         if self.limit is not None and self.used + amount > self.limit:
             raise OutOfGasError(requested=amount, remaining=self.limit - self.used)
+        self._propagate(amount)
         self.used += amount
-        self.ledger.charge(amount, category, layer or self.layer)
+        self.ledger.charge(amount, category, layer or self.layer, scope=scope or self.scope)
         return amount
+
+    def _propagate(self, amount: int) -> None:
+        """Fold a charge into every ancestor meter (enforcing their limits)."""
+        meter = self.parent
+        while meter is not None:
+            if meter.limit is not None and meter.used + amount > meter.limit:
+                raise OutOfGasError(requested=amount, remaining=meter.limit - meter.used)
+            meter.used += amount
+            meter = meter.parent
 
     def refund(self, amount: int, layer: Optional[str] = None) -> int:
         """Credit a refund (only effective when the schedule enables refunds)."""
         if amount <= 0:
             return 0
         self.used = max(0, self.used - amount)
-        self.ledger.refund(amount, layer or self.layer)
+        meter = self.parent
+        while meter is not None:
+            meter.used = max(0, meter.used - amount)
+            meter = meter.parent
+        self.ledger.refund(amount, layer or self.layer, scope=self.scope)
         return amount
 
     @property
@@ -74,22 +106,33 @@ class ExecutionContext:
     call_depth: int = 0
     emitted: List["LogEvent"] = field(default_factory=list)  # noqa: F821 - forward ref
 
-    def child(self, sender: str, layer: Optional[str] = None) -> "ExecutionContext":
+    def child(
+        self,
+        sender: str,
+        layer: Optional[str] = None,
+        scope: Optional[str] = None,
+    ) -> "ExecutionContext":
         """Create the context for an internal call made by ``sender``.
 
         Internal calls share the same gas meter (the EVM model of a nested
         call within the same transaction) and inherit block metadata.  The
         attribution layer can be overridden so application callbacks charge to
         the application layer while the feed protocol charges to the feed
-        layer.
+        layer; the attribution scope can be overridden so a gateway router
+        dispatching a batched transaction bills each tenant's group to that
+        tenant.
         """
         meter = self.meter
-        if layer is not None and layer != meter.layer:
+        new_layer = layer if layer is not None and layer != meter.layer else None
+        new_scope = scope if scope is not None and scope != meter.scope else None
+        if new_layer is not None or new_scope is not None:
             meter = GasMeter(
                 schedule=self.meter.schedule,
                 ledger=self.meter.ledger,
                 limit=None,
-                layer=layer,
+                layer=layer if layer is not None else self.meter.layer,
+                scope=scope if scope is not None else self.meter.scope,
+                parent=self.meter,
             )
         return ExecutionContext(
             sender=sender,

@@ -44,6 +44,36 @@ class EpochUpdateResult:
 
 
 @dataclass
+class PreparedEpochUpdate:
+    """An epoch update that has been computed but not yet submitted on chain.
+
+    Produced by :meth:`DataOwner.prepare_epoch_update` (control-plane run, ADS
+    updates, root signing — steps w0/w1).  A single-feed deployment submits it
+    straight away via :meth:`DataOwner.submit_prepared`; the multi-tenant
+    gateway instead collects the prepared updates of every feed in a shard and
+    lands them in one batched router transaction, amortising the transaction
+    base cost across tenants.
+    """
+
+    entries: List[UpdateEntry]
+    transitions: Dict[str, ReplicationState]
+    signed_root: Optional[SignedRoot]
+    buffered_writes: int
+
+    @property
+    def has_payload(self) -> bool:
+        """Whether anything changed this epoch (an empty epoch sends no tx)."""
+        return self.buffered_writes > 0 or bool(self.entries)
+
+    @property
+    def calldata_bytes(self) -> int:
+        """Digest (2 words) plus the entries' encoded size."""
+        if not self.has_payload:
+            return 0
+        return 64 + sum(entry.calldata_bytes for entry in self.entries)
+
+
+@dataclass
 class DataOwner:
     """Trusted producer: buffers writes, runs the control plane, updates the chain."""
 
@@ -55,6 +85,9 @@ class DataOwner:
     signer: RootSigner = field(default_factory=RootSigner)
     verify_witnesses: bool = False
     trusted_root: bytes = b""
+    #: Gas-attribution scope stamped on the DO's transactions (the feed id
+    #: when the DO is hosted by the multi-tenant gateway).
+    scope: Optional[str] = None
     _write_buffer: List[Operation] = field(default_factory=list)
     epochs_submitted: int = 0
 
@@ -96,6 +129,7 @@ class DataOwner:
             args={"entries": entries, "digest": signed.root},
             calldata_bytes=calldata,
             layer=LAYER_FEED,
+            scope=self.scope,
         )
         self.chain.submit(transaction)
         self.chain.mine_block()
@@ -105,6 +139,17 @@ class DataOwner:
 
     def end_epoch(self) -> EpochUpdateResult:
         """Run the control plane and submit this epoch's ``update`` transaction."""
+        prepared = self.prepare_epoch_update()
+        return self.submit_prepared(prepared)
+
+    def prepare_epoch_update(self) -> PreparedEpochUpdate:
+        """Steps w0/w1: run the control plane, apply ADS updates, sign the root.
+
+        Mutates the SP store and the DO's trusted root but submits nothing on
+        chain; the caller decides how the prepared update reaches the contract
+        (a standalone ``update`` transaction, or a gateway ``update_batch``
+        grouped with other feeds).
+        """
         replicated_keys = [r.key for r in self.sp_store.replicated_records()]
         transitions = self.control_plane.run_epoch(replicated_keys)
 
@@ -181,8 +226,7 @@ class DataOwner:
         if buffered == 0 and not entries:
             # Nothing changed this epoch: no digest refresh is needed and no
             # transaction is sent (saves the base transaction cost).
-            return EpochUpdateResult(
-                transaction=None,
+            return PreparedEpochUpdate(
                 entries=[],
                 transitions=transitions,
                 signed_root=None,
@@ -192,23 +236,45 @@ class DataOwner:
         new_root = self.sp_store.root
         self.trusted_root = new_root
         signed = self.signer.sign(new_root)
-        calldata = 64 + sum(entry.calldata_bytes for entry in entries)
-        transaction = Transaction(
-            sender=self.address,
-            contract=self.storage_manager.address,
-            function="update",
-            args={"entries": entries, "digest": signed.root},
-            calldata_bytes=calldata,
-            layer=LAYER_FEED,
-        )
-        self.chain.submit(transaction)
-        self.epochs_submitted += 1
-        return EpochUpdateResult(
-            transaction=transaction,
+        return PreparedEpochUpdate(
             entries=entries,
             transitions=transitions,
             signed_root=signed,
             buffered_writes=buffered,
+        )
+
+    def note_epoch_submitted(self) -> None:
+        """Count one epoch update landed on chain (standalone or batched)."""
+        self.epochs_submitted += 1
+
+    def submit_prepared(self, prepared: PreparedEpochUpdate) -> EpochUpdateResult:
+        """Step w2: submit a prepared update as a standalone transaction."""
+        if not prepared.has_payload:
+            return EpochUpdateResult(
+                transaction=None,
+                entries=[],
+                transitions=prepared.transitions,
+                signed_root=None,
+                buffered_writes=0,
+            )
+        assert prepared.signed_root is not None
+        transaction = Transaction(
+            sender=self.address,
+            contract=self.storage_manager.address,
+            function="update",
+            args={"entries": prepared.entries, "digest": prepared.signed_root.root},
+            calldata_bytes=prepared.calldata_bytes,
+            layer=LAYER_FEED,
+            scope=self.scope,
+        )
+        self.chain.submit(transaction)
+        self.note_epoch_submitted()
+        return EpochUpdateResult(
+            transaction=transaction,
+            entries=prepared.entries,
+            transitions=prepared.transitions,
+            signed_root=prepared.signed_root,
+            buffered_writes=prepared.buffered_writes,
         )
 
     @property

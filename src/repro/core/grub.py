@@ -32,7 +32,14 @@ from repro.ads.authenticated_kv import AuthenticatedKVStore
 from repro.chain.chain import Blockchain
 from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
 from repro.common.clock import SimulatedClock
-from repro.common.types import EpochSummary, KVRecord, Operation, OperationKind
+from repro.common.errors import ConfigurationError
+from repro.common.types import (
+    EpochSummary,
+    KVRecord,
+    Operation,
+    OperationKind,
+    ReplicationState,
+)
 from repro.core.config import GrubConfig
 from repro.core.consistency import ConsistencyModel
 from repro.core.control_plane import ControlPlane, DecisionActuator, WorkloadMonitor
@@ -88,7 +95,15 @@ class RunReport:
 
 
 class GrubSystem:
-    """A fully wired GRuB deployment driven by workload operations."""
+    """A fully wired GRuB deployment driven by workload operations.
+
+    By default the system owns its blockchain (the paper's single-feed
+    deployment).  The multi-tenant gateway instead passes a shared ``chain``
+    plus a ``feed_id``: every component address is then namespaced under the
+    feed id, all gas the feed causes is billed to the feed's scope, and
+    ``gateway`` authorises the gateway's router contract to land this feed's
+    epoch updates inside batched cross-feed transactions.
+    """
 
     name = "GRuB"
 
@@ -97,33 +112,62 @@ class GrubSystem:
         config: Optional[GrubConfig] = None,
         consumer_factory=None,
         preload: Optional[Sequence[KVRecord]] = None,
+        *,
+        chain: Optional[Blockchain] = None,
+        feed_id: Optional[str] = None,
+        gateway: Optional[str] = None,
     ) -> None:
         self.config = config or GrubConfig()
-        self.clock = SimulatedClock()
-        self.chain = Blockchain(
-            schedule=self.config.gas_schedule,
-            parameters=self.config.chain_parameters,
-            clock=self.clock,
-        )
+        self.feed_id = feed_id
+        prefix = f"{feed_id}/" if feed_id else ""
+        if chain is None:
+            self.clock = SimulatedClock()
+            self.chain = Blockchain(
+                schedule=self.config.gas_schedule,
+                parameters=self.config.chain_parameters,
+                clock=self.clock,
+            )
+        else:
+            # Shared-chain (gateway) mode: the chain's pricing is fixed by the
+            # host.  The control plane's cost model is built from the feed's
+            # config, so a mismatched schedule would make the feed optimise
+            # against prices the chain never charges — reject it loudly.
+            if self.config.gas_schedule != chain.schedule:
+                raise ConfigurationError(
+                    f"feed {feed_id!r}: config.gas_schedule differs from the "
+                    "shared chain's schedule; hosted feeds must price "
+                    "decisions with the host chain's gas schedule"
+                )
+            if self.config.chain_parameters != chain.parameters:
+                raise ConfigurationError(
+                    f"feed {feed_id!r}: config.chain_parameters differ from "
+                    "the shared chain's parameters"
+                )
+            self.chain = chain
+            self.clock = chain.clock
         self.storage_manager = StorageManagerContract(
-            address="storage-manager",
-            data_owner="data-owner",
+            address=f"{prefix}storage-manager",
+            data_owner=f"{prefix}data-owner",
             track_trace_on_chain=self._trace_mode(),
             reuse_replica_slots=self.config.reuse_replica_slots,
+            gateway=gateway,
         )
         self.chain.deploy(self.storage_manager)
         if consumer_factory is None:
-            self.consumer = DataConsumerContract("data-consumer", self.storage_manager.address)
+            self.consumer = DataConsumerContract(
+                f"{prefix}data-consumer", self.storage_manager.address
+            )
         else:
             self.consumer = consumer_factory(self.storage_manager.address)
         self.chain.deploy(self.consumer)
         self.sp_store = AuthenticatedKVStore()
         self.service_provider = ServiceProvider(
-            address="storage-provider",
+            address=f"{prefix}storage-provider",
             chain=self.chain,
             storage_manager=self.storage_manager,
             store=self.sp_store,
             batch_deliver=self.config.batch_deliver,
+            scope=feed_id,
         )
         cost_model = CostModel.from_schedule(self.config.gas_schedule)
         self._cost_model = cost_model
@@ -143,11 +187,12 @@ class GrubSystem:
             continuous=self.config.continuous_decisions,
         )
         self.data_owner = DataOwner(
-            address="data-owner",
+            address=f"{prefix}data-owner",
             chain=self.chain,
             storage_manager=self.storage_manager,
             sp_store=self.sp_store,
             control_plane=control_plane,
+            scope=feed_id,
         )
         if self.config.deliver_replication_hint and self.config.algorithm not in ("always", "never"):
             self.service_provider.decision_lookup = control_plane.decision_for
@@ -193,6 +238,95 @@ class GrubSystem:
         self._finalise_report(report)
         return report
 
+    # -- epoch-step hooks ------------------------------------------------------
+    #
+    # The epoch loop is decomposed into three steps so an external scheduler
+    # (the multi-tenant gateway's EpochScheduler) can drive many feeds in
+    # lockstep: begin every feed's epoch, interleave their operations, then
+    # settle delivers/updates across feeds in batched transactions instead of
+    # the standalone per-feed settlement below.
+
+    def begin_epoch(self, index: int, operations: int = 0) -> EpochSummary:
+        """Start epoch ``index`` and return its (empty) summary."""
+        self.storage_manager.current_epoch_hint = index
+        return EpochSummary(index=index, operations=operations)
+
+    def drive_operation(
+        self, operation: Operation, summary: EpochSummary, report: RunReport
+    ) -> None:
+        """Apply one workload operation: buffer a write, or execute a read on chain."""
+        if operation.is_write:
+            value = operation.value
+            if value is None:
+                value = b"\x00" * self.config.record_size_bytes
+            self.data_owner.put(operation.key, value)
+            summary.writes += 1
+            report.writes += 1
+        elif operation.kind is OperationKind.SCAN:
+            keys = self._scan_keys(operation)
+            self.chain.execute_internal_call(
+                sender="end-user",
+                contract_address=self.consumer.address,
+                function="scan_feed",
+                layer=LAYER_FEED,
+                scope=self.feed_id,
+                start_key=operation.key,
+                keys=keys,
+            )
+            summary.reads += 1
+            report.reads += 1
+        else:
+            self.chain.execute_internal_call(
+                sender="end-user",
+                contract_address=self.consumer.address,
+                function="query_feed",
+                layer=LAYER_FEED,
+                scope=self.feed_id,
+                key=operation.key,
+            )
+            summary.reads += 1
+            report.reads += 1
+        report.operations += 1
+        if self.config.continuous_decisions and operation.is_read:
+            # The DO's full node sees the gGet in the next block; feed it
+            # to the decision algorithm straight away.
+            self.data_owner.control_plane.observe_chain_reads()
+        if not self.config.batch_deliver:
+            # Immediate delivery: the watchdog answers each request as it
+            # appears rather than waiting for the end of the epoch.
+            self.service_provider.service_epoch()
+            self.chain.mine_block()
+
+    def record_epoch(
+        self,
+        summary: EpochSummary,
+        report: RunReport,
+        *,
+        deliveries: int,
+        update_transactions: int,
+        transitions: Dict[str, ReplicationState],
+        gas_feed: int,
+        gas_application: int,
+    ) -> None:
+        """Fold one settled epoch's outcome into the summary and the report."""
+        summary.deliveries = deliveries
+        summary.update_transactions = update_transactions
+        summary.replications = sum(
+            1 for state in transitions.values() if state is ReplicationState.REPLICATED
+        )
+        summary.evictions = sum(
+            1 for state in transitions.values() if state is ReplicationState.NOT_REPLICATED
+        )
+        summary.gas_feed = gas_feed
+        summary.gas_application = gas_application
+        report.epochs.append(summary)
+        report.gas_feed += summary.gas_feed
+        report.gas_application += summary.gas_application
+        report.replications += summary.replications
+        report.evictions += summary.evictions
+        report.deliveries += summary.deliveries
+        report.update_transactions += summary.update_transactions
+
     def _run_epoch(
         self,
         operations: List[Operation],
@@ -201,52 +335,12 @@ class GrubSystem:
     ) -> None:
         feed_before = self.chain.ledger.feed_total
         app_before = self.chain.ledger.application_total
-        index = len(report.epochs)
-        self.storage_manager.current_epoch_hint = index
-        summary = EpochSummary(index=index, operations=len(operations))
+        summary = self.begin_epoch(len(report.epochs), len(operations))
         if phase_markers and report.operations in phase_markers:
             summary.extras["phase"] = phase_markers[report.operations]
 
         for operation in operations:
-            if operation.is_write:
-                value = operation.value
-                if value is None:
-                    value = b"\x00" * self.config.record_size_bytes
-                self.data_owner.put(operation.key, value)
-                summary.writes += 1
-                report.writes += 1
-            elif operation.kind is OperationKind.SCAN:
-                keys = self._scan_keys(operation)
-                self.chain.execute_internal_call(
-                    sender="end-user",
-                    contract_address=self.consumer.address,
-                    function="scan_feed",
-                    layer=LAYER_FEED,
-                    start_key=operation.key,
-                    keys=keys,
-                )
-                summary.reads += 1
-                report.reads += 1
-            else:
-                self.chain.execute_internal_call(
-                    sender="end-user",
-                    contract_address=self.consumer.address,
-                    function="query_feed",
-                    layer=LAYER_FEED,
-                    key=operation.key,
-                )
-                summary.reads += 1
-                report.reads += 1
-            report.operations += 1
-            if self.config.continuous_decisions and operation.is_read:
-                # The DO's full node sees the gGet in the next block; feed it
-                # to the decision algorithm straight away.
-                self.data_owner.control_plane.observe_chain_reads()
-            if not self.config.batch_deliver:
-                # Immediate delivery: the watchdog answers each request as it
-                # appears rather than waiting for the end of the epoch.
-                self.service_provider.service_epoch()
-                self.chain.mine_block()
+            self.drive_operation(operation, summary, report)
 
         # End of epoch: the SP answers outstanding requests first (its deliver
         # may already materialise pending NR→R decisions via the replicate
@@ -257,23 +351,15 @@ class GrubSystem:
         update_result = self.data_owner.end_epoch()
         self.chain.mine_block()
 
-        summary.deliveries = len(deliver_txs)
-        summary.update_transactions = 1 if update_result.transaction is not None else 0
-        summary.replications = sum(
-            1 for state in update_result.transitions.values() if state.value == "R"
+        self.record_epoch(
+            summary,
+            report,
+            deliveries=len(deliver_txs),
+            update_transactions=1 if update_result.transaction is not None else 0,
+            transitions=update_result.transitions,
+            gas_feed=self.chain.ledger.feed_total - feed_before,
+            gas_application=self.chain.ledger.application_total - app_before,
         )
-        summary.evictions = sum(
-            1 for state in update_result.transitions.values() if state.value == "NR"
-        )
-        summary.gas_feed = self.chain.ledger.feed_total - feed_before
-        summary.gas_application = self.chain.ledger.application_total - app_before
-        report.epochs.append(summary)
-        report.gas_feed += summary.gas_feed
-        report.gas_application += summary.gas_application
-        report.replications += summary.replications
-        report.evictions += summary.evictions
-        report.deliveries += summary.deliveries
-        report.update_transactions += summary.update_transactions
 
     def _scan_keys(self, operation: Operation) -> List[str]:
         keys = self.sp_store.keys()

@@ -43,6 +43,35 @@ class PendingRequest:
     callback: str
     context: Dict[str, object] = field(default_factory=dict)
 
+    @staticmethod
+    def from_event(event) -> List["PendingRequest"]:
+        """Decode a ``request``/``request_range`` log event into requests.
+
+        The single source of the event wire format, shared by the per-feed
+        watchdog (:meth:`ServiceProvider.poll_requests`) and the gateway's
+        :class:`~repro.gateway.watchdog.SharedWatchdog`; other event names
+        decode to an empty list.
+        """
+        if event.name == "request":
+            return [
+                PendingRequest(
+                    key=event.payload["key"],
+                    consumer=event.payload["consumer"],
+                    callback=event.payload.get("callback", "on_data"),
+                    context=dict(event.payload.get("context", {})),
+                )
+            ]
+        if event.name == "request_range":
+            return [
+                PendingRequest(
+                    key=key,
+                    consumer=event.payload["consumer"],
+                    callback=event.payload.get("callback", "on_data"),
+                )
+                for key in event.payload["keys"]
+            ]
+        return []
+
 
 @dataclass
 class ServiceProvider:
@@ -58,6 +87,9 @@ class ServiceProvider:
     #: wants replicated even before the next epoch update lands (the paper's
     #: deliver-time ``replicate`` flag).
     decision_lookup: Optional[Callable[[str], ReplicationState]] = None
+    #: Gas-attribution scope stamped on the SP's transactions (the feed id
+    #: when the feed is hosted by the multi-tenant gateway).
+    scope: Optional[str] = None
     _log_cursor: int = 0
     pending: List[PendingRequest] = field(default_factory=list)
     deliveries_sent: int = 0
@@ -73,26 +105,9 @@ class ServiceProvider:
         self._log_cursor = len(self.chain.event_log)
         found = 0
         for event in events:
-            if event.name == "request":
-                self.pending.append(
-                    PendingRequest(
-                        key=event.payload["key"],
-                        consumer=event.payload["consumer"],
-                        callback=event.payload.get("callback", "on_data"),
-                        context=dict(event.payload.get("context", {})),
-                    )
-                )
-                found += 1
-            elif event.name == "request_range":
-                for key in event.payload["keys"]:
-                    self.pending.append(
-                        PendingRequest(
-                            key=key,
-                            consumer=event.payload["consumer"],
-                            callback=event.payload.get("callback", "on_data"),
-                        )
-                    )
-                    found += 1
+            requests = PendingRequest.from_event(event)
+            self.pending.extend(requests)
+            found += len(requests)
         return found
 
     def register_request(
@@ -138,6 +153,23 @@ class ServiceProvider:
             )
         return items
 
+    def drain_pending_items(self) -> List[DeliverItem]:
+        """Drain pending requests into deliver items without submitting a
+        transaction.
+
+        Used by the multi-tenant gateway, which lands the items inside a
+        batched router transaction shared with other feeds; the SP's delivery
+        counters are updated here so they stay correct in both deployments.
+        """
+        if not self.pending:
+            return []
+        requests, self.pending = self.pending, []
+        items = self.build_deliver_items(requests)
+        if items:
+            self.deliveries_sent += 1
+            self.records_delivered += len(items)
+        return items
+
     def flush_deliveries(self) -> List[Transaction]:
         """Answer pending requests, either in one batched transaction or one each."""
         if not self.pending:
@@ -161,6 +193,7 @@ class ServiceProvider:
                 args={"items": items},
                 calldata_bytes=calldata,
                 layer=LAYER_FEED,
+                scope=self.scope,
             )
             self.chain.submit(transaction)
             transactions.append(transaction)
@@ -184,13 +217,22 @@ class TamperingServiceProvider(ServiceProvider):
     * ``"replay"`` — deliver a stale value captured before the latest update,
     * ``"omit"`` — silently drop a fraction of requested records,
     * ``"fork"`` — generate proofs against a private fork of the store.
+
+    The only stochastic choice (which requests an ``omit`` attack drops) is
+    driven by ``seed`` — or an explicitly injected ``rng`` — so adversarial
+    runs are reproducible like every other component.
     """
 
     attack: str = "forge"
     stale_snapshot: Dict[str, bytes] = field(default_factory=dict)
     omit_probability: float = 1.0
-    rng: random.Random = field(default_factory=lambda: random.Random(7))
+    seed: int = 7
+    rng: Optional[random.Random] = None
     attacks_attempted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = random.Random(self.seed)
 
     def capture_snapshot(self) -> None:
         """Remember current values so a later ``replay`` can serve stale data."""

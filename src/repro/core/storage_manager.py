@@ -125,6 +125,7 @@ class StorageManagerContract(Contract):
         data_owner: str,
         track_trace_on_chain: str = "off",
         reuse_replica_slots: bool = False,
+        gateway: Optional[str] = None,
     ) -> None:
         """``track_trace_on_chain`` selects the BL3/BL4 behaviour:
 
@@ -138,9 +139,15 @@ class StorageManagerContract(Contract):
         ``reuse_replica_slots`` enables the BtcRelay experiment's "reusable
         storage": new replicas recycle slots freed by earlier evictions, so
         they pay the storage-update price instead of the insert price.
+
+        ``gateway`` optionally names a hosting-gateway router contract that is
+        also authorised to call ``update`` (on behalf of the data owner it
+        hosts), so a multi-tenant gateway can land several feeds' epoch
+        updates inside one batched transaction.
         """
         super().__init__(address)
         self.data_owner = data_owner
+        self.gateway = gateway
         self.track_trace_on_chain = track_trace_on_chain
         self.reuse_replica_slots = reuse_replica_slots
         self.free_replica_slots = 0
@@ -264,7 +271,10 @@ class StorageManagerContract(Contract):
         digest: bytes,
     ) -> int:
         """The DO's epoch transaction: refresh digest, apply replicated writes/transitions."""
-        self.require(ctx.sender == self.data_owner, "only the data owner may update")
+        self.require(
+            ctx.sender == self.data_owner or (self.gateway is not None and ctx.sender == self.gateway),
+            "only the data owner (or its hosting gateway) may update",
+        )
         self.storage.store(ctx.meter, self.ROOT_SLOT, digest)
         applied = 0
         for entry in entries:

@@ -1,0 +1,63 @@
+"""Multi-tenant GRuB hosting runtime: many feeds, one chain, one watchdog.
+
+The seed reproduces the paper's single-feed deployment (one DO, one SP, one
+storage-manager contract).  This package turns that into a hosted service:
+
+* :mod:`repro.gateway.registry` — :class:`FeedRegistry` instantiates and
+  namespaces many independent feeds (each with its own data owner, storage
+  provider, decision algorithm and :class:`~repro.core.config.GrubConfig`)
+  over a **shared** blockchain;
+* :mod:`repro.gateway.router` — the on-chain
+  :class:`GatewayRouterContract` that fans batched cross-feed ``deliver`` /
+  ``update`` transactions out to each feed's storage-manager contract,
+  amortising the transaction base cost across tenants the same way the paper
+  amortises it across requests;
+* :mod:`repro.gateway.watchdog` — one :class:`SharedWatchdog` tailing the
+  shared event log once per cycle and routing request events to the feed they
+  belong to;
+* :mod:`repro.gateway.scheduler` — the :class:`EpochScheduler` that shards
+  feeds into groups and coalesces end-of-epoch work into one batched deliver
+  and one grouped update per shard;
+* :mod:`repro.gateway.cache` — the consumer-side :class:`ReadCache` with
+  write-invalidation keyed on each record's replication state, so repeated
+  reads of replicated records short-circuit;
+* :mod:`repro.gateway.metrics` — per-feed and fleet-wide telemetry (gas,
+  wall-clock throughput, cache hit rate, replication churn).
+
+Quickstart::
+
+    from repro.gateway import FeedRegistry, FeedSpec, EpochScheduler
+    from repro.core.config import GrubConfig
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    registry = FeedRegistry()
+    for i in range(8):
+        registry.create_feed(FeedSpec(feed_id=f"feed-{i:02d}", config=GrubConfig(epoch_size=16)))
+    scheduler = EpochScheduler(registry, num_shards=2)
+    fleet = scheduler.run({
+        f"feed-{i:02d}": SyntheticWorkload(read_write_ratio=4, num_operations=128, seed=i).operations()
+        for i in range(8)
+    })
+    print(fleet.format_report())
+"""
+
+from repro.gateway.cache import ReadCache
+from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
+from repro.gateway.registry import FeedHandle, FeedRegistry, FeedSpec
+from repro.gateway.router import DeliverGroup, GatewayRouterContract, UpdateGroup
+from repro.gateway.scheduler import EpochScheduler
+from repro.gateway.watchdog import SharedWatchdog
+
+__all__ = [
+    "DeliverGroup",
+    "EpochScheduler",
+    "FeedHandle",
+    "FeedRegistry",
+    "FeedSpec",
+    "FeedTelemetry",
+    "FleetTelemetry",
+    "GatewayRouterContract",
+    "ReadCache",
+    "SharedWatchdog",
+    "UpdateGroup",
+]

@@ -1,0 +1,98 @@
+"""Consumer-side read cache with replication-keyed write invalidation.
+
+The gateway fronts every consumer read.  Once a record is replicated on chain
+its value is public, verified state; the gateway's full node can therefore
+memoise it and serve repeated reads without re-executing the ``gGet`` internal
+call (no ``sload``, no callback gas).  The cache is only ever populated from
+reads that *hit an on-chain replica* — never from the untrusted SP — so a
+cache hit returns exactly what the chain would have returned.
+
+Invalidation is keyed on the feed's replication state machine:
+
+* a data-owner write to a key invalidates the (feed, key) entry — the next
+  read goes back to the chain (and, post-update, re-populates the cache),
+* an R→NR transition (eviction) invalidates the entry — the replica is gone,
+  so reads must pay the request/deliver path again,
+* removing a feed drops all of its entries.
+
+Entries are bounded by an optional LRU capacity so a gateway hosting many
+large feeds keeps a predictable memory footprint.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class ReadCache:
+    """LRU cache of verified replicated records, keyed by (feed id, key)."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("cache capacity must be positive when given")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, feed_id: str, key: str) -> Optional[bytes]:
+        """Return the cached value, counting a hit or a miss."""
+        entry = self._entries.get((feed_id, key))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((feed_id, key))
+        self.stats.hits += 1
+        return entry
+
+    def put(self, feed_id: str, key: str, value: bytes) -> None:
+        """Memoise a value read from an on-chain replica."""
+        cache_key = (feed_id, key)
+        self._entries[cache_key] = value
+        self._entries.move_to_end(cache_key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def invalidate(self, feed_id: str, key: str) -> bool:
+        """Drop one entry (a write or an R→NR transition touched the key)."""
+        removed = self._entries.pop((feed_id, key), None) is not None
+        if removed:
+            self.stats.invalidations += 1
+        return removed
+
+    def invalidate_feed(self, feed_id: str) -> int:
+        """Drop every entry of one feed (feed removed or root rolled over)."""
+        stale = [entry for entry in self._entries if entry[0] == feed_id]
+        for entry in stale:
+            del self._entries[entry]
+        self.stats.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,189 @@
+"""Per-feed and fleet-wide telemetry of the multi-tenant gateway.
+
+The gateway bills every unit of gas to the feed that caused it (via the gas
+ledger's scopes, including each feed's exact share of batched cross-feed
+transactions), counts cache traffic per feed, and clocks the fleet's
+wall-time, so operators get the numbers a hosted service is run on: per-feed
+gas and gas/op, fleet ops/sec, cache hit rate and replication churn.
+
+:class:`FeedTelemetry` is one tenant's bill; :class:`FleetTelemetry`
+aggregates the fleet and renders the operator report through the shared
+:mod:`repro.analysis.reporting` helpers so gateway output matches the paper
+benchmarks' formatting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.reporting import format_gas, format_rate, format_table
+from repro.common.types import EpochSummary
+
+
+@dataclass
+class FeedTelemetry:
+    """One hosted feed's bill: gas, traffic, cache and churn counters."""
+
+    feed_id: str
+    operations: int = 0
+    reads: int = 0
+    writes: int = 0
+    gas_feed: int = 0
+    gas_application: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    replications: int = 0
+    evictions: int = 0
+    deliver_groups: int = 0
+    update_groups: int = 0
+    epochs: List[EpochSummary] = field(default_factory=list)
+
+    @property
+    def gas_total(self) -> int:
+        return self.gas_feed + self.gas_application
+
+    @property
+    def gas_per_operation(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.gas_feed / self.operations
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    @property
+    def replication_churn(self) -> float:
+        """Replication-state transitions per epoch (R→NR plus NR→R)."""
+        if not self.epochs:
+            return 0.0
+        return (self.replications + self.evictions) / len(self.epochs)
+
+    def epoch_series(self) -> List[float]:
+        """Per-epoch feed gas per operation (same series as RunReport)."""
+        return [epoch.gas_per_operation for epoch in self.epochs]
+
+
+@dataclass
+class FleetTelemetry:
+    """Fleet-wide aggregate over every hosted feed's telemetry."""
+
+    feeds: Dict[str, FeedTelemetry] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    epochs_run: int = 0
+    deliver_batches: int = 0
+    update_batches: int = 0
+    blocks_mined: int = 0
+
+    def feed(self, feed_id: str) -> FeedTelemetry:
+        return self.feeds[feed_id]
+
+    # -- fleet aggregates ----------------------------------------------------
+
+    @property
+    def operations(self) -> int:
+        return sum(feed.operations for feed in self.feeds.values())
+
+    @property
+    def gas_feed(self) -> int:
+        return sum(feed.gas_feed for feed in self.feeds.values())
+
+    @property
+    def gas_application(self) -> int:
+        return sum(feed.gas_application for feed in self.feeds.values())
+
+    @property
+    def gas_total(self) -> int:
+        return self.gas_feed + self.gas_application
+
+    @property
+    def gas_per_operation(self) -> float:
+        if self.operations == 0:
+            return 0.0
+        return self.gas_feed / self.operations
+
+    @property
+    def ops_per_second(self) -> float:
+        """Wall-clock throughput of the gateway runtime itself."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.operations / self.wall_seconds
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(feed.cache_hits for feed in self.feeds.values())
+
+    @property
+    def cache_lookups(self) -> int:
+        return sum(feed.cache_lookups for feed in self.feeds.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        if self.cache_lookups == 0:
+            return 0.0
+        return self.cache_hits / self.cache_lookups
+
+    @property
+    def replications(self) -> int:
+        return sum(feed.replications for feed in self.feeds.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(feed.evictions for feed in self.feeds.values())
+
+    @property
+    def replication_churn(self) -> float:
+        if self.epochs_run == 0:
+            return 0.0
+        return (self.replications + self.evictions) / self.epochs_run
+
+    # -- reporting -----------------------------------------------------------
+
+    def per_feed_rows(self) -> List[tuple]:
+        """One report row per feed, sorted by feed id."""
+        rows = []
+        for feed_id in sorted(self.feeds):
+            feed = self.feeds[feed_id]
+            rows.append(
+                (
+                    feed_id,
+                    feed.operations,
+                    format_gas(feed.gas_feed),
+                    round(feed.gas_per_operation),
+                    f"{feed.cache_hit_rate * 100:.1f}%",
+                    feed.replications,
+                    feed.evictions,
+                )
+            )
+        return rows
+
+    def format_report(self, title: Optional[str] = None) -> str:
+        """Operator report: per-feed table plus the fleet summary lines."""
+        lines = [
+            format_table(
+                ["feed", "ops", "feed gas", "gas/op", "cache hit", "repl", "evict"],
+                self.per_feed_rows(),
+                title=title or f"Gateway fleet — {len(self.feeds)} feeds",
+            ),
+            (
+                f"fleet: {self.operations:,} ops in {self.epochs_run} epochs, "
+                f"{format_gas(self.gas_feed)} feed gas "
+                f"({self.gas_per_operation:,.1f} gas/op), "
+                f"{format_rate(self.ops_per_second, 'ops/s')}, "
+                f"cache hit rate {self.cache_hit_rate * 100:.1f}%, "
+                f"churn {self.replication_churn:.2f} transitions/epoch"
+            ),
+            (
+                f"batching: {self.deliver_batches} deliver batches, "
+                f"{self.update_batches} update batches, "
+                f"{self.blocks_mined} blocks mined"
+            ),
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Feed registry: instantiate and namespace many GRuB feeds on one chain.
+
+The registry is the tenant-management layer of the gateway.  Each
+:class:`FeedSpec` describes one tenant (its id, its
+:class:`~repro.core.config.GrubConfig` — decision algorithm, epoch size,
+record sizing — and an optional preload).  ``create_feed`` wires a complete
+GRuB deployment for the tenant — storage-manager contract, consumer contract,
+data owner, storage provider — with every address namespaced under the feed
+id, sharing the registry's single :class:`~repro.chain.chain.Blockchain`,
+:class:`GatewayRouterContract` and :class:`SharedWatchdog`.
+
+All gas a feed causes is billed to the feed's gas scope (its id), which is
+what makes per-tenant telemetry exact even when several feeds share one
+batched transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.chain.chain import Blockchain, ChainParameters
+from repro.chain.gas import GasSchedule
+from repro.common.errors import ConfigurationError
+from repro.common.types import KVRecord
+from repro.core.config import GrubConfig
+from repro.core.grub import GrubSystem, RunReport
+from repro.gateway.router import GatewayRouterContract
+from repro.gateway.watchdog import SharedWatchdog
+
+
+@dataclass(frozen=True)
+class FeedSpec:
+    """Everything the gateway needs to host one tenant feed."""
+
+    feed_id: str
+    config: GrubConfig = field(default_factory=GrubConfig)
+    preload: Optional[Sequence[KVRecord]] = None
+    #: Optional factory building the feed's consumer contract from the storage
+    #: manager's address (defaults to the plain DataConsumerContract).
+    consumer_factory: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not self.feed_id or "/" in self.feed_id:
+            raise ConfigurationError(
+                f"feed id must be a non-empty string without '/', got {self.feed_id!r}"
+            )
+
+
+@dataclass
+class FeedHandle:
+    """One hosted feed: its wired GRuB system plus per-feed run state."""
+
+    spec: FeedSpec
+    system: GrubSystem
+    report: RunReport
+
+    @property
+    def feed_id(self) -> str:
+        return self.spec.feed_id
+
+    @property
+    def storage_manager(self):
+        return self.system.storage_manager
+
+    @property
+    def service_provider(self):
+        return self.system.service_provider
+
+    @property
+    def data_owner(self):
+        return self.system.data_owner
+
+    @property
+    def consumer(self):
+        return self.system.consumer
+
+    @property
+    def replicated_on_chain(self) -> int:
+        return self.system.replicated_on_chain
+
+
+class FeedRegistry:
+    """Hosts many independent GRuB feeds over one shared chain and watchdog."""
+
+    def __init__(
+        self,
+        *,
+        schedule: Optional[GasSchedule] = None,
+        parameters: Optional[ChainParameters] = None,
+        router_address: str = "gateway-router",
+    ) -> None:
+        self.schedule = schedule or GasSchedule()
+        self.parameters = parameters or ChainParameters()
+        self.chain = Blockchain(schedule=self.schedule, parameters=self.parameters)
+        self.router = GatewayRouterContract(router_address)
+        self.chain.deploy(self.router)
+        self.watchdog = SharedWatchdog(chain=self.chain)
+        self._feeds: Dict[str, FeedHandle] = {}
+        #: Callables invoked with the feed id when a feed is removed (the
+        #: scheduler hooks cache invalidation in here).
+        self.removal_listeners: List[Callable[[str], None]] = []
+
+    # -- tenant lifecycle ----------------------------------------------------
+
+    def create_feed(self, spec: FeedSpec) -> FeedHandle:
+        """Instantiate and register a new hosted feed."""
+        if spec.feed_id in self._feeds:
+            raise ConfigurationError(f"feed {spec.feed_id!r} already registered")
+        system = GrubSystem(
+            spec.config,
+            consumer_factory=spec.consumer_factory,
+            preload=spec.preload,
+            chain=self.chain,
+            feed_id=spec.feed_id,
+            gateway=self.router.address,
+        )
+        handle = FeedHandle(
+            spec=spec,
+            system=system,
+            report=RunReport(system_name=f"GRuB[{spec.feed_id}]"),
+        )
+        self._feeds[spec.feed_id] = handle
+        self.watchdog.register(handle)
+        return handle
+
+    def remove_feed(self, feed_id: str) -> FeedHandle:
+        """Deregister a feed: stop scheduling/billing it and free its
+        on-chain addresses (so the feed id can be reused by a later tenant)."""
+        handle = self.get(feed_id)
+        del self._feeds[feed_id]
+        self.watchdog.deregister(handle)
+        self.chain.undeploy(handle.storage_manager.address)
+        self.chain.undeploy(handle.consumer.address)
+        for listener in self.removal_listeners:
+            listener(feed_id)
+        return handle
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, feed_id: str) -> FeedHandle:
+        try:
+            return self._feeds[feed_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"no feed registered as {feed_id!r}") from exc
+
+    def __contains__(self, feed_id: str) -> bool:
+        return feed_id in self._feeds
+
+    def __len__(self) -> int:
+        return len(self._feeds)
+
+    @property
+    def feed_ids(self) -> List[str]:
+        """Registered feed ids in creation order."""
+        return list(self._feeds)
+
+    @property
+    def handles(self) -> List[FeedHandle]:
+        return list(self._feeds.values())

@@ -1,0 +1,122 @@
+"""The gateway's on-chain router: one transaction, many feeds.
+
+In a single-feed deployment every end-of-epoch transaction (the SP's
+``deliver``, the DO's ``update``) pays the full 21k transaction base cost for
+one feed.  The router is the on-chain half of the multi-tenant gateway: it
+accepts *batched* transactions whose calldata is grouped per feed and fans
+each group out to that feed's storage-manager contract with an internal call,
+so N feeds sharing an epoch boundary pay one base cost instead of N.
+
+Gas attribution stays exact: the chain splits the batched transaction's
+intrinsic cost across the feeds it serves (see
+:func:`repro.chain.gas.split_transaction_cost`) and the router executes each
+group under the feed's own gas scope, so per-feed reports add up to the fleet
+total with no double-counting.
+
+Authorisation mirrors the single-feed contract: each storage manager still
+verifies delivered records against its own root hash, and ``update`` groups
+are only accepted because the hosted feeds name the router as their gateway
+(the gateway operates the DOs, so it is their on-chain agent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chain.contract import Contract
+from repro.chain.vm import ExecutionContext
+from repro.core.storage_manager import DeliverItem, UpdateEntry
+
+
+@dataclass(frozen=True)
+class DeliverGroup:
+    """One feed's slice of a batched cross-feed ``deliver`` transaction."""
+
+    feed_id: str
+    manager: str
+    items: List[DeliverItem]
+
+    @property
+    def calldata_bytes(self) -> int:
+        # Manager address word + the items' encoded size.
+        return 32 + sum(item.calldata_bytes for item in self.items)
+
+
+@dataclass(frozen=True)
+class UpdateGroup:
+    """One feed's slice of a batched cross-feed ``update`` transaction."""
+
+    feed_id: str
+    manager: str
+    entries: List[UpdateEntry]
+    digest: bytes
+
+    @property
+    def calldata_bytes(self) -> int:
+        # Manager address word + digest (2 words) + the entries' encoded size.
+        return 32 + 64 + sum(entry.calldata_bytes for entry in self.entries)
+
+
+class GatewayRouterContract(Contract):
+    """Fans batched gateway transactions out to per-feed storage managers."""
+
+    def __init__(self, address: str = "gateway-router") -> None:
+        super().__init__(address)
+        self.deliver_batches = 0
+        self.update_batches = 0
+        self.groups_routed = 0
+
+    def deliver_batch(self, ctx: ExecutionContext, groups: List[DeliverGroup]) -> int:
+        """Answer outstanding requests of several feeds in one transaction.
+
+        Each group is executed under its feed's gas scope; the per-feed
+        storage manager performs the usual Merkle verification, optional
+        replication and consumer callbacks.
+        """
+        self.require(bool(groups), "empty deliver batch")
+        verified = 0
+        for group in groups:
+            manager = self.chain.get_contract(group.manager)
+            verified += self.call_contract(
+                ctx,
+                manager,
+                "deliver",
+                scope=group.feed_id,
+                items=group.items,
+            )
+            self.groups_routed += 1
+        self.deliver_batches += 1
+        return verified
+
+    def update_batch(self, ctx: ExecutionContext, groups: List[UpdateGroup]) -> int:
+        """Land several feeds' epoch updates in one transaction.
+
+        The storage managers accept the router as sender because the hosted
+        feeds were deployed with this router as their ``gateway``.
+        """
+        self.require(bool(groups), "empty update batch")
+        applied = 0
+        for group in groups:
+            manager = self.chain.get_contract(group.manager)
+            applied += self.call_contract(
+                ctx,
+                manager,
+                "update",
+                scope=group.feed_id,
+                entries=group.entries,
+                digest=group.digest,
+            )
+            self.groups_routed += 1
+        self.update_batches += 1
+        return applied
+
+
+def scope_weights_for_deliver(groups: List[DeliverGroup]) -> Dict[str, int]:
+    """Per-feed calldata weights used to split a deliver batch's base cost."""
+    return {group.feed_id: group.calldata_bytes for group in groups}
+
+
+def scope_weights_for_update(groups: List[UpdateGroup]) -> Dict[str, int]:
+    """Per-feed calldata weights used to split an update batch's base cost."""
+    return {group.feed_id: group.calldata_bytes for group in groups}

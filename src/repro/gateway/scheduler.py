@@ -1,0 +1,350 @@
+"""The epoch scheduler: drive a fleet of feeds in lockstep, settle in batches.
+
+Single-feed GRuB already amortises transaction base cost across the requests
+of one epoch.  The scheduler applies the same idea across *tenants*: feeds are
+sharded into groups, and at every epoch boundary each shard's outstanding
+work is coalesced into
+
+* **one** batched ``deliver`` transaction per shard (the shared watchdog's
+  pending requests of every feed in the shard, grouped per feed), and
+* **one** grouped ``update`` transaction per shard (every feed's prepared
+  epoch update),
+
+both landed through the :class:`~repro.gateway.router.GatewayRouterContract`,
+so a shard of S feeds pays one 21k transaction base where S isolated
+deployments pay up to 2·S per epoch.
+
+Reads are fronted by the consumer-side :class:`~repro.gateway.cache.ReadCache`
+when one is configured: a read of a key whose verified replica the gateway has
+already observed is served from the gateway's full node without re-executing
+the on-chain ``gGet`` (cached reads therefore do not appear in the on-chain
+read trace — exactly like a consumer that keeps its own memo of public chain
+state).  Writes and evictions invalidate the affected entry.
+
+The scheduler never consults a wall clock for scheduling decisions and uses
+no randomness, so two runs over the same fleet and workloads are identical;
+``time.perf_counter`` is only sampled to report the runtime's own ops/sec.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
+from repro.chain.transaction import Transaction
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.types import Operation, OperationKind, ReplicationState
+from repro.gateway.cache import ReadCache
+from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
+from repro.gateway.registry import FeedHandle, FeedRegistry
+from repro.gateway.router import (
+    DeliverGroup,
+    UpdateGroup,
+    scope_weights_for_deliver,
+    scope_weights_for_update,
+)
+
+#: Externally-owned account the gateway runtime submits batched transactions
+#: from (it operates the hosted DOs and the shared watchdog).
+GATEWAY_OPERATOR = "gateway-operator"
+
+
+class EpochScheduler:
+    """Drives hosted feeds epoch-by-epoch with cross-feed batched settlement."""
+
+    def __init__(
+        self,
+        registry: FeedRegistry,
+        *,
+        num_shards: int = 1,
+        epoch_size: Optional[int] = None,
+        read_cache: Optional[ReadCache] = None,
+        enable_cache: bool = True,
+    ) -> None:
+        if num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        self.registry = registry
+        self.num_shards = num_shards
+        self._epoch_size = epoch_size
+        self.cache = read_cache if read_cache is not None else (ReadCache() if enable_cache else None)
+        if self.cache is not None and self.cache.invalidate_feed not in registry.removal_listeners:
+            # A leaving tenant's entries must not occupy LRU slots (or be
+            # served to a later tenant that reuses the feed id).
+            registry.removal_listeners.append(self.cache.invalidate_feed)
+        #: Keys written this epoch, per feed: their on-chain replica is stale
+        #: until the epoch update lands, so the cache must not re-memoise them
+        #: mid-epoch (a later epoch would otherwise be served the old value).
+        self._dirty: Dict[str, set] = {}
+        self.epochs_run = 0
+
+    # -- sharding -------------------------------------------------------------
+
+    def shards(self, feed_ids: Sequence[str]) -> List[List[str]]:
+        """Partition feeds round-robin into at most ``num_shards`` groups."""
+        groups = [list(feed_ids[index :: self.num_shards]) for index in range(self.num_shards)]
+        return [group for group in groups if group]
+
+    def epoch_size_for(self, feed_ids: Sequence[str]) -> int:
+        """The lockstep epoch size: explicit, or the largest feed epoch size."""
+        if self._epoch_size is not None:
+            return self._epoch_size
+        sizes = [
+            self.registry.get(feed_id).system.config.epoch_size for feed_id in feed_ids
+        ]
+        return max(sizes) if sizes else 32
+
+    # -- the fleet run --------------------------------------------------------
+
+    def run(self, workloads: Mapping[str, Sequence[Operation]]) -> FleetTelemetry:
+        """Drive every feed's workload through the gateway, epoch by epoch.
+
+        ``workloads`` maps feed id → operation sequence.  All feeds advance in
+        lockstep: epoch ``e`` takes each feed's operations
+        ``[e * epoch_size, (e + 1) * epoch_size)``; feeds whose workload is
+        exhausted simply stop contributing operations (their empty epochs
+        send no transactions).
+        """
+        feed_ids = [feed_id for feed_id in self.registry.feed_ids if feed_id in workloads]
+        missing = set(workloads) - set(feed_ids)
+        if missing:
+            raise ConfigurationError(f"workloads for unregistered feeds: {sorted(missing)}")
+        for feed_id in feed_ids:
+            config = self.registry.get(feed_id).system.config
+            if not config.batch_deliver:
+                raise ConfigurationError(
+                    f"feed {feed_id!r}: the gateway settles delivers at epoch "
+                    "boundaries; per-request delivery (batch_deliver=False) is "
+                    "a single-feed ablation mode"
+                )
+
+        operations = {feed_id: list(workloads[feed_id]) for feed_id in feed_ids}
+        epoch_size = self.epoch_size_for(feed_ids)
+        total_epochs = max(
+            (len(ops) + epoch_size - 1) // epoch_size for ops in operations.values()
+        ) if operations else 0
+        shard_plan = self.shards(feed_ids)
+
+        fleet = FleetTelemetry(
+            feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in feed_ids}
+        )
+        blocks_before = self.registry.chain.height
+        wall_start = time.perf_counter()
+
+        for epoch in range(total_epochs):
+            self._run_epoch(epoch, epoch_size, operations, shard_plan, fleet)
+
+        fleet.wall_seconds = time.perf_counter() - wall_start
+        fleet.epochs_run = total_epochs
+        fleet.blocks_mined = self.registry.chain.height - blocks_before
+        self.epochs_run += total_epochs
+        return fleet
+
+    # -- one lockstep epoch ---------------------------------------------------
+
+    def _run_epoch(
+        self,
+        epoch: int,
+        epoch_size: int,
+        operations: Mapping[str, List[Operation]],
+        shard_plan: List[List[str]],
+        fleet: FleetTelemetry,
+    ) -> None:
+        ledger = self.registry.chain.ledger
+        gas_before = {
+            feed_id: (
+                ledger.scope_total(feed_id, LAYER_FEED),
+                ledger.scope_total(feed_id, LAYER_APPLICATION),
+            )
+            for feed_id in operations
+        }
+        summaries = {}
+
+        # Phase 1 — drive every feed's slice of the epoch (reads execute on
+        # chain or hit the gateway cache; writes buffer at the feed's DO).
+        for feed_id, ops in operations.items():
+            handle = self.registry.get(feed_id)
+            telemetry = fleet.feeds[feed_id]
+            epoch_ops = ops[epoch * epoch_size : (epoch + 1) * epoch_size]
+            summary = handle.system.begin_epoch(epoch, len(epoch_ops))
+            summaries[feed_id] = summary
+            for operation in epoch_ops:
+                self._drive(handle, operation, summary, telemetry)
+
+        # Phase 2 — the shared watchdog scans the log once for the whole
+        # fleet, then each shard's requests are answered in one batched
+        # deliver transaction.
+        self.registry.watchdog.poll()
+        deliveries: Dict[str, int] = {feed_id: 0 for feed_id in operations}
+        batch_txs: List[Transaction] = []
+        for shard in shard_plan:
+            groups: List[DeliverGroup] = []
+            for feed_id in shard:
+                handle = self.registry.get(feed_id)
+                items = handle.service_provider.drain_pending_items()
+                if not items:
+                    continue
+                groups.append(
+                    DeliverGroup(
+                        feed_id=feed_id,
+                        manager=handle.storage_manager.address,
+                        items=items,
+                    )
+                )
+            if not groups:
+                continue
+            batch_txs.append(
+                self.registry.chain.submit(
+                    Transaction(
+                        sender=GATEWAY_OPERATOR,
+                        contract=self.registry.router.address,
+                        function="deliver_batch",
+                        args={"groups": groups},
+                        calldata_bytes=sum(group.calldata_bytes for group in groups),
+                        layer=LAYER_FEED,
+                        scopes=scope_weights_for_deliver(groups),
+                    )
+                )
+            )
+            fleet.deliver_batches += 1
+            for group in groups:
+                deliveries[group.feed_id] += 1
+                fleet.feeds[group.feed_id].deliver_groups += 1
+        if batch_txs:
+            self.registry.chain.mine_block()
+
+        # Phase 3 — every feed prepares its epoch update (control plane + ADS
+        # + root signing); each shard's payloads land in one grouped update.
+        transitions: Dict[str, Dict[str, ReplicationState]] = {}
+        updates: Dict[str, int] = {feed_id: 0 for feed_id in operations}
+        submitted_update = False
+        for shard in shard_plan:
+            groups_u: List[UpdateGroup] = []
+            for feed_id in shard:
+                handle = self.registry.get(feed_id)
+                prepared = handle.data_owner.prepare_epoch_update()
+                transitions[feed_id] = prepared.transitions
+                if not prepared.has_payload:
+                    continue
+                assert prepared.signed_root is not None
+                handle.data_owner.note_epoch_submitted()
+                groups_u.append(
+                    UpdateGroup(
+                        feed_id=feed_id,
+                        manager=handle.storage_manager.address,
+                        entries=prepared.entries,
+                        digest=prepared.signed_root.root,
+                    )
+                )
+            if not groups_u:
+                continue
+            batch_txs.append(
+                self.registry.chain.submit(
+                    Transaction(
+                        sender=GATEWAY_OPERATOR,
+                        contract=self.registry.router.address,
+                        function="update_batch",
+                        args={"groups": groups_u},
+                        calldata_bytes=sum(group.calldata_bytes for group in groups_u),
+                        layer=LAYER_FEED,
+                        scopes=scope_weights_for_update(groups_u),
+                    )
+                )
+            )
+            submitted_update = True
+            fleet.update_batches += 1
+            for group in groups_u:
+                updates[group.feed_id] += 1
+                fleet.feeds[group.feed_id].update_groups += 1
+        if submitted_update:
+            self.registry.chain.mine_block()
+        self._check_settlement(batch_txs)
+
+        # Phase 4 — settle per-feed accounting for the epoch and apply
+        # replication-keyed cache invalidation (an evicted replica must not be
+        # served from the cache).
+        for feed_id in operations:
+            handle = self.registry.get(feed_id)
+            telemetry = fleet.feeds[feed_id]
+            summary = summaries[feed_id]
+            feed_transitions = transitions.get(feed_id, {})
+            if self.cache is not None:
+                for key, state in feed_transitions.items():
+                    if state is ReplicationState.NOT_REPLICATED:
+                        self.cache.invalidate(feed_id, key)
+                # The epoch update has landed: written keys' replicas are
+                # fresh again and may be memoised from the next read on.
+                self._dirty.pop(feed_id, None)
+            feed_after = ledger.scope_total(feed_id, LAYER_FEED)
+            app_after = ledger.scope_total(feed_id, LAYER_APPLICATION)
+            handle.system.record_epoch(
+                summary,
+                handle.report,
+                deliveries=deliveries[feed_id],
+                update_transactions=updates[feed_id],
+                transitions=feed_transitions,
+                gas_feed=feed_after - gas_before[feed_id][0],
+                gas_application=app_after - gas_before[feed_id][1],
+            )
+            telemetry.epochs.append(summary)
+            telemetry.operations += summary.operations
+            telemetry.reads += summary.reads
+            telemetry.writes += summary.writes
+            telemetry.gas_feed += summary.gas_feed
+            telemetry.gas_application += summary.gas_application
+            telemetry.replications += summary.replications
+            telemetry.evictions += summary.evictions
+
+    def _check_settlement(self, batch_txs: List[Transaction]) -> None:
+        """Fail loudly if any settlement batch reverted.
+
+        The batched transaction reverts atomically on chain, but the hosted
+        DOs' off-chain state (trusted roots, SP stores) has already advanced
+        by the time the batch lands — continuing would leave those feeds
+        diverged from their on-chain digests forever, so a reverted batch is
+        a hosting-runtime bug worth stopping the run for.
+        """
+        for transaction in batch_txs:
+            receipt = self.registry.chain.receipt_for(transaction.txid)
+            if receipt is not None and not receipt.success:
+                raise ReproError(
+                    f"gateway {transaction.function} reverted "
+                    f"(feeds {sorted(transaction.scopes or {})}): {receipt.error}"
+                )
+
+    # -- one operation --------------------------------------------------------
+
+    def _drive(
+        self,
+        handle: FeedHandle,
+        operation: Operation,
+        summary,
+        telemetry: FeedTelemetry,
+    ) -> None:
+        """Route one operation: cache front for point reads, system otherwise."""
+        if (
+            self.cache is not None
+            and operation.kind is OperationKind.READ
+        ):
+            cached = self.cache.get(handle.feed_id, operation.key)
+            if cached is not None:
+                # Served from the gateway's memo of verified chain state: no
+                # on-chain call, no gas, and no entry in the on-chain trace.
+                telemetry.cache_hits += 1
+                summary.reads += 1
+                handle.report.reads += 1
+                handle.report.operations += 1
+                return
+            telemetry.cache_misses += 1
+            handle.system.drive_operation(operation, summary, handle.report)
+            replica = handle.storage_manager.replica_of(operation.key)
+            if replica is not None and operation.key not in self._dirty.get(handle.feed_id, ()):
+                # The read was served by a verified on-chain replica and no
+                # buffered write is about to supersede it; memoise it for
+                # subsequent reads of the same key.
+                self.cache.put(handle.feed_id, operation.key, replica)
+            return
+        if operation.is_write and self.cache is not None:
+            self.cache.invalidate(handle.feed_id, operation.key)
+            self._dirty.setdefault(handle.feed_id, set()).add(operation.key)
+        handle.system.drive_operation(operation, summary, handle.report)

@@ -1,0 +1,64 @@
+"""One watchdog for the whole fleet.
+
+In a single-feed deployment the SP's watchdog tails the event log with its own
+cursor.  Hosting N feeds that way would scan the shared log N times per cycle
+(each SP filtering for its own contract).  The shared watchdog keeps *one*
+cursor over the shared chain's event log, scans each new event exactly once,
+and routes ``request`` / ``request_range`` events to the feed that owns the
+emitting storage-manager contract — the per-feed
+:class:`~repro.core.service_provider.ServiceProvider` objects then only do
+what is genuinely per-feed work: looking records up in their own store and
+attaching proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict
+
+from repro.chain.chain import Blockchain
+from repro.core.service_provider import PendingRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.gateway.registry import FeedHandle
+
+
+@dataclass
+class SharedWatchdog:
+    """Single-cursor event-log tail shared by every hosted feed."""
+
+    chain: Blockchain
+    _cursor: int = 0
+    #: storage-manager address → the handle of the feed it belongs to.
+    _routes: Dict[str, "FeedHandle"] = field(default_factory=dict)
+    events_scanned: int = 0
+    requests_routed: int = 0
+
+    def register(self, handle: "FeedHandle") -> None:
+        self._routes[handle.storage_manager.address] = handle
+
+    def deregister(self, handle: "FeedHandle") -> None:
+        self._routes.pop(handle.storage_manager.address, None)
+
+    def poll(self) -> int:
+        """Scan new events once, routing requests to their feeds' SPs.
+
+        Returns how many pending requests were enqueued across the fleet.
+        The per-feed SP's own log cursor is advanced past the scanned range so
+        a feed later driven standalone does not re-answer old requests.
+        """
+        events = self.chain.event_log.since(self._cursor)
+        self._cursor = len(self.chain.event_log)
+        routed = 0
+        for event in events:
+            self.events_scanned += 1
+            handle = self._routes.get(event.contract)
+            if handle is None:
+                continue
+            requests = PendingRequest.from_event(event)
+            handle.service_provider.pending.extend(requests)
+            routed += len(requests)
+        for handle in self._routes.values():
+            handle.service_provider._log_cursor = self._cursor
+        self.requests_routed += routed
+        return routed

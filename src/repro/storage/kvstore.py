@@ -105,6 +105,8 @@ class InMemoryKVStore(KVStore):
         end_key: Optional[str] = None,
         limit: Optional[int] = None,
     ) -> List[Tuple[str, bytes]]:
+        if limit is not None and limit <= 0:
+            return []
         start = bisect.bisect_left(self._sorted_keys, start_key)
         result: List[Tuple[str, bytes]] = []
         for key in self._sorted_keys[start:]:

@@ -86,6 +86,8 @@ class LSMStore(KVStore):
         end_key: Optional[str] = None,
         limit: Optional[int] = None,
     ) -> List[Tuple[str, bytes]]:
+        if limit is not None and limit <= 0:
+            return []
         result: List[Tuple[str, bytes]] = []
         for key, value in self.items():
             if key < start_key:

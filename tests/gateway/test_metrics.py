@@ -1,0 +1,94 @@
+"""Telemetry aggregation and operator-report formatting."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_rate
+from repro.common.types import EpochSummary
+from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec, FeedTelemetry, FleetTelemetry
+from repro.core.config import GrubConfig
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def make_telemetry(feed_id: str, gas: int, ops: int, hits: int, misses: int) -> FeedTelemetry:
+    telemetry = FeedTelemetry(feed_id=feed_id)
+    telemetry.operations = ops
+    telemetry.reads = ops
+    telemetry.gas_feed = gas
+    telemetry.cache_hits = hits
+    telemetry.cache_misses = misses
+    telemetry.epochs.append(EpochSummary(index=0, operations=ops, gas_feed=gas))
+    return telemetry
+
+
+class TestFeedTelemetry:
+    def test_gas_per_operation(self):
+        telemetry = make_telemetry("a", gas=1000, ops=10, hits=0, misses=10)
+        assert telemetry.gas_per_operation == 100.0
+        assert telemetry.gas_total == 1000
+
+    def test_cache_hit_rate(self):
+        telemetry = make_telemetry("a", gas=0, ops=8, hits=6, misses=2)
+        assert telemetry.cache_hit_rate == 0.75
+
+    def test_zero_division_guards(self):
+        telemetry = FeedTelemetry(feed_id="a")
+        assert telemetry.gas_per_operation == 0.0
+        assert telemetry.cache_hit_rate == 0.0
+        assert telemetry.replication_churn == 0.0
+
+    def test_epoch_series_matches_summaries(self):
+        telemetry = FeedTelemetry(feed_id="a")
+        telemetry.epochs.append(EpochSummary(index=0, operations=4, gas_feed=400))
+        telemetry.epochs.append(EpochSummary(index=1, operations=4, gas_feed=100))
+        assert telemetry.epoch_series() == [100.0, 25.0]
+
+
+class TestFleetTelemetry:
+    def test_fleet_aggregates_sum_feeds(self):
+        fleet = FleetTelemetry(
+            feeds={
+                "a": make_telemetry("a", gas=1000, ops=10, hits=5, misses=5),
+                "b": make_telemetry("b", gas=3000, ops=10, hits=0, misses=10),
+            },
+            epochs_run=1,
+        )
+        assert fleet.operations == 20
+        assert fleet.gas_feed == 4000
+        assert fleet.gas_per_operation == 200.0
+        assert fleet.cache_hit_rate == 0.25
+
+    def test_ops_per_second_uses_wall_clock(self):
+        fleet = FleetTelemetry(
+            feeds={"a": make_telemetry("a", gas=0, ops=100, hits=0, misses=0)},
+            wall_seconds=2.0,
+        )
+        assert fleet.ops_per_second == 50.0
+        fleet.wall_seconds = 0.0
+        assert fleet.ops_per_second == 0.0
+
+    def test_report_contains_every_feed_and_fleet_lines(self):
+        registry = FeedRegistry()
+        for index in range(3):
+            registry.create_feed(
+                FeedSpec(feed_id=f"feed-{index}", config=GrubConfig(epoch_size=8))
+            )
+        workloads = {
+            f"feed-{index}": SyntheticWorkload(
+                read_write_ratio=2, num_operations=24, seed=index
+            ).operations()
+            for index in range(3)
+        }
+        fleet = EpochScheduler(registry).run(workloads)
+        report = fleet.format_report()
+        for feed_id in workloads:
+            assert feed_id in report
+        assert "fleet:" in report
+        assert "cache hit rate" in report
+        assert "deliver batches" in report
+
+
+class TestFormatRate:
+    def test_plain_and_si_suffixed(self):
+        assert format_rate(12.0, "ops/s") == "12.0 ops/s"
+        assert format_rate(12_340.0, "ops/s") == "12.3k ops/s"
+        assert format_rate(3_400_000.0, "ops/s") == "3.4M ops/s"

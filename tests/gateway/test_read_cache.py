@@ -1,0 +1,161 @@
+"""The consumer-side read cache: hits, invalidation, LRU bounds, gas effect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import Operation
+from repro.core.config import GrubConfig
+from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec, ReadCache
+
+
+class TestReadCacheUnit:
+    def test_hit_after_put(self):
+        cache = ReadCache()
+        cache.put("feed", "k", b"v")
+        assert cache.get("feed", "k") == b"v"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_miss_is_counted(self):
+        cache = ReadCache()
+        assert cache.get("feed", "k") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.0
+
+    def test_entries_are_per_feed(self):
+        cache = ReadCache()
+        cache.put("alpha", "k", b"alpha-value")
+        assert cache.get("bravo", "k") is None
+        assert cache.get("alpha", "k") == b"alpha-value"
+
+    def test_invalidate_drops_one_entry(self):
+        cache = ReadCache()
+        cache.put("feed", "k", b"v")
+        assert cache.invalidate("feed", "k") is True
+        assert cache.invalidate("feed", "k") is False
+        assert cache.get("feed", "k") is None
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_feed_drops_only_that_feed(self):
+        cache = ReadCache()
+        cache.put("alpha", "k1", b"1")
+        cache.put("alpha", "k2", b"2")
+        cache.put("bravo", "k1", b"3")
+        assert cache.invalidate_feed("alpha") == 2
+        assert len(cache) == 1
+        assert cache.get("bravo", "k1") == b"3"
+
+    def test_lru_capacity_evicts_oldest(self):
+        cache = ReadCache(capacity=2)
+        cache.put("feed", "a", b"1")
+        cache.put("feed", "b", b"2")
+        cache.get("feed", "a")  # refresh a; b is now the LRU entry
+        cache.put("feed", "c", b"3")
+        assert cache.get("feed", "b") is None
+        assert cache.get("feed", "a") == b"1"
+        assert cache.stats.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReadCache(capacity=0)
+
+
+def _single_feed_fixture(enable_cache: bool):
+    registry = FeedRegistry()
+    registry.create_feed(
+        FeedSpec(feed_id="alpha", config=GrubConfig(epoch_size=4, algorithm="memoryless", k=1))
+    )
+    # One write then a long run of reads of the same key: the key replicates,
+    # after which every further read can be served from the cache.
+    operations = [Operation.write("hot", b"hot-value")]
+    operations += [Operation.read("hot") for _ in range(23)]
+    scheduler = EpochScheduler(registry, enable_cache=enable_cache)
+    fleet = scheduler.run({"alpha": operations})
+    return registry, fleet
+
+
+class TestReadCacheInScheduler:
+    def test_repeated_replicated_reads_hit_the_cache(self):
+        _, fleet = _single_feed_fixture(enable_cache=True)
+        telemetry = fleet.feed("alpha")
+        assert telemetry.cache_hits > 0
+        assert fleet.cache_hit_rate > 0.5
+        # Cached reads still count as operations for the tenant.
+        assert telemetry.operations == 24
+
+    def test_cache_lowers_feed_gas(self):
+        _, with_cache = _single_feed_fixture(enable_cache=True)
+        _, without_cache = _single_feed_fixture(enable_cache=False)
+        assert with_cache.gas_feed < without_cache.gas_feed
+
+    def test_write_invalidates_and_next_read_sees_new_value(self):
+        registry = FeedRegistry()
+        registry.create_feed(
+            FeedSpec(feed_id="alpha", config=GrubConfig(epoch_size=2, algorithm="always"))
+        )
+        cache = ReadCache()
+        scheduler = EpochScheduler(registry, read_cache=cache)
+        operations = [
+            Operation.write("k", b"v1"),
+            Operation.write("pad", b"p"),
+            # Epoch 1: the replica now exists; the read populates the cache.
+            Operation.read("k"),
+            Operation.read("k"),
+            # Epoch 2: a write invalidates; the trailing read must go back to
+            # the chain and observe v2, not the stale memo.
+            Operation.write("k", b"v2"),
+            Operation.read("k"),
+            Operation.read("k"),
+            Operation.read("k"),
+        ]
+        scheduler.run({"alpha": operations})
+        assert registry.get("alpha").consumer.last_value("k") == b"v2"
+        assert cache.stats.invalidations >= 1
+
+    def test_feed_removal_drops_the_feeds_entries(self):
+        registry = FeedRegistry()
+        registry.create_feed(
+            FeedSpec(feed_id="alpha", config=GrubConfig(epoch_size=2, algorithm="always"))
+        )
+        cache = ReadCache()
+        scheduler = EpochScheduler(registry, read_cache=cache)
+        scheduler.run(
+            {
+                "alpha": [
+                    Operation.write("k", b"v1"),
+                    Operation.write("pad", b"p"),
+                    Operation.read("k"),
+                    Operation.read("k"),
+                ]
+            }
+        )
+        assert len(cache) > 0
+        registry.remove_feed("alpha")
+        assert len(cache) == 0
+
+    def test_eviction_invalidates_cache_entry(self):
+        registry = FeedRegistry()
+        registry.create_feed(
+            FeedSpec(
+                feed_id="alpha",
+                config=GrubConfig(epoch_size=2, algorithm="memoryless", k=1,
+                                  evict_unused_after_epochs=1),
+            )
+        )
+        cache = ReadCache()
+        scheduler = EpochScheduler(registry, read_cache=cache)
+        operations = [
+            Operation.write("k", b"v1"),
+            Operation.read("k"),
+            Operation.read("k"),
+            Operation.read("k"),
+            # Epochs with no reads of "k": the idle-eviction policy demotes it
+            # R→NR, which must also drop the gateway's cached copy.
+            Operation.write("other", b"o1"),
+            Operation.write("other", b"o2"),
+            Operation.write("other", b"o3"),
+            Operation.write("other", b"o4"),
+        ]
+        scheduler.run({"alpha": operations})
+        assert cache.get("alpha", "k") is None

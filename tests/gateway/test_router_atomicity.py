@@ -1,0 +1,85 @@
+"""A failing group must revert the whole batched router transaction."""
+
+from __future__ import annotations
+
+from repro.chain.transaction import Transaction
+from repro.common.types import KVRecord, ReplicationState
+from repro.core.storage_manager import UpdateEntry
+from repro.gateway import FeedRegistry, FeedSpec
+from repro.gateway.router import UpdateGroup, scope_weights_for_update
+
+
+def test_failing_group_reverts_earlier_groups_storage():
+    registry = FeedRegistry()
+    alpha = registry.create_feed(FeedSpec(feed_id="alpha"))
+    bravo = registry.create_feed(FeedSpec(feed_id="bravo"))
+    groups = [
+        UpdateGroup(
+            feed_id="alpha",
+            manager=alpha.storage_manager.address,
+            entries=[UpdateEntry("k", b"v", ReplicationState.REPLICATED)],
+            digest=b"\x01" * 32,
+        ),
+        # Invalid: a replicated entry must carry its value.
+        UpdateGroup(
+            feed_id="bravo",
+            manager=bravo.storage_manager.address,
+            entries=[UpdateEntry("k", None, ReplicationState.REPLICATED)],
+            digest=b"\x02" * 32,
+        ),
+    ]
+    transaction = Transaction(
+        sender="gateway-operator",
+        contract=registry.router.address,
+        function="update_batch",
+        args={"groups": groups},
+        calldata_bytes=sum(group.calldata_bytes for group in groups),
+        scopes=scope_weights_for_update(groups),
+    )
+    registry.chain.submit(transaction)
+    registry.chain.mine_block()
+    receipt = registry.chain.receipt_for(transaction.txid)
+    assert not receipt.success
+    # Alpha's group executed before bravo's failed one, but the batch is
+    # atomic: no root, no replica survives the revert.
+    assert alpha.storage_manager.root_hash() is None
+    assert alpha.storage_manager.replica_of("k") is None
+    assert registry.router.update_batches == 0
+
+
+def test_receipt_gas_covers_batched_group_execution():
+    registry = FeedRegistry()
+    alpha = registry.create_feed(
+        FeedSpec(
+            feed_id="alpha",
+            preload=[KVRecord.make("k", b"v", ReplicationState.NOT_REPLICATED)],
+        )
+    )
+    groups = [
+        UpdateGroup(
+            feed_id="alpha",
+            manager=alpha.storage_manager.address,
+            entries=[UpdateEntry("k", b"v2", ReplicationState.REPLICATED, is_transition=True)],
+            digest=b"\x03" * 32,
+        )
+    ]
+    ledger_before = registry.chain.ledger.total
+    transaction = Transaction(
+        sender="gateway-operator",
+        contract=registry.router.address,
+        function="update_batch",
+        args={"groups": groups},
+        calldata_bytes=groups[0].calldata_bytes,
+        scopes=scope_weights_for_update(groups),
+    )
+    registry.chain.submit(transaction)
+    registry.chain.mine_block()
+    receipt = registry.chain.receipt_for(transaction.txid)
+    assert receipt.success
+    # Everything the batch charged to the ledger — including the group's
+    # execution inside the storage manager, metered under alpha's scope —
+    # shows up in the transaction's own gas_used.
+    assert receipt.gas_used == registry.chain.ledger.total - ledger_before
+    # And the per-feed bill contains the group's storage write, not just the
+    # intrinsic share.
+    assert registry.chain.ledger.scope_total("alpha") > 20_000

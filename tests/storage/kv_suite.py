@@ -1,0 +1,204 @@
+"""Shared conformance suite for every ordered KV backend in the repo.
+
+The paper claims GRuB works over "any off-chain storage service supporting KV
+storage"; this suite makes that interchangeability a tested contract.  It is
+parametrized over the dict-backed :class:`InMemoryKVStore`, the LSM tree
+(:class:`LSMStore`) and the :class:`MemTable` write buffer (adapted to the
+store interface), and covers roundtrip, overwrite, delete, and the ``scan``
+edge cases (empty range, ``limit=0``, unbounded end).
+
+Import :data:`BACKENDS` and decorate with ``@pytest.mark.parametrize`` (see
+``test_kv_suite.py``), or subclass :class:`KVStoreContract` with a ``make``
+classmethod for a new backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.storage.kvstore import InMemoryKVStore, KVStore
+from repro.storage.lsm import LSMConfig, LSMStore
+from repro.storage.memtable import TOMBSTONE, MemTable
+
+
+class MemTableKVAdapter(KVStore):
+    """Adapt the LSM write buffer to the :class:`KVStore` contract.
+
+    The memtable is the mutable head of the LSM store; wrapping it lets the
+    shared suite assert that its visible behaviour (tombstones shadowing
+    earlier values, sorted iteration) matches the full stores.
+    """
+
+    def __init__(self) -> None:
+        self.memtable = MemTable()
+
+    def get(self, key: str) -> Optional[bytes]:
+        found, value = self.memtable.get(key)
+        return value if found else None
+
+    def put(self, key: str, value: bytes) -> None:
+        self.memtable.put(key, value)
+
+    def delete(self, key: str) -> bool:
+        existed = self.get(key) is not None
+        self.memtable.delete(key)
+        return existed
+
+    def scan(
+        self,
+        start_key: str,
+        end_key: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, bytes]]:
+        if limit is not None and limit <= 0:
+            return []
+        result: List[Tuple[str, bytes]] = []
+        for key, value in self.items():
+            if key < start_key:
+                continue
+            if end_key is not None and key >= end_key:
+                break
+            result.append((key, value))
+            if limit is not None and len(result) >= limit:
+                break
+        return result
+
+    def items(self) -> Iterator[Tuple[str, bytes]]:
+        for key, value in self.memtable.items():
+            if value is not TOMBSTONE:
+                yield key, value  # type: ignore[misc]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.items())
+
+
+def _small_lsm() -> LSMStore:
+    """An in-memory LSM tuned to actually flush/compact under suite-sized data."""
+    return LSMStore(config=LSMConfig(memtable_flush_bytes=256, write_ahead_log=False))
+
+
+#: name → factory, the backends every conformance test runs against.
+BACKENDS: List[Tuple[str, Callable[[], KVStore]]] = [
+    ("inmemory", InMemoryKVStore),
+    ("lsm", _small_lsm),
+    ("memtable", MemTableKVAdapter),
+]
+
+BACKEND_IDS = [name for name, _ in BACKENDS]
+BACKEND_FACTORIES = [factory for _, factory in BACKENDS]
+
+
+def populate(store: KVStore, count: int = 8, prefix: str = "key") -> List[str]:
+    """Insert ``count`` records with deterministic keys; returns the keys."""
+    keys = [f"{prefix}-{index:04d}" for index in range(count)]
+    for index, key in enumerate(keys):
+        store.put(key, f"value-{index}".encode())
+    return keys
+
+
+class KVStoreContract:
+    """The behavioural contract; ``make()`` is provided by parametrization."""
+
+    make: Callable[[], KVStore]
+
+    # -- roundtrip -----------------------------------------------------------
+
+    def test_roundtrip(self):
+        store = self.make()
+        store.put("alpha", b"1")
+        assert store.get("alpha") == b"1"
+        assert store.contains("alpha")
+        assert len(store) == 1
+
+    def test_get_missing_returns_none(self):
+        store = self.make()
+        assert store.get("ghost") is None
+        assert not store.contains("ghost")
+
+    def test_iteration_is_key_sorted(self):
+        store = self.make()
+        for key in ("delta", "alpha", "charlie", "bravo"):
+            store.put(key, key.encode())
+        assert [key for key, _ in store.items()] == ["alpha", "bravo", "charlie", "delta"]
+
+    # -- overwrite -----------------------------------------------------------
+
+    def test_overwrite_replaces_value_without_duplicating_key(self):
+        store = self.make()
+        store.put("alpha", b"old")
+        store.put("alpha", b"new")
+        assert store.get("alpha") == b"new"
+        assert len(store) == 1
+        assert store.keys() == ["alpha"]
+
+    # -- delete --------------------------------------------------------------
+
+    def test_delete_existing_returns_true_and_removes(self):
+        store = self.make()
+        store.put("alpha", b"1")
+        assert store.delete("alpha") is True
+        assert store.get("alpha") is None
+        assert len(store) == 0
+
+    def test_delete_missing_returns_false(self):
+        store = self.make()
+        assert store.delete("ghost") is False
+
+    def test_delete_then_reinsert(self):
+        store = self.make()
+        store.put("alpha", b"1")
+        store.delete("alpha")
+        store.put("alpha", b"2")
+        assert store.get("alpha") == b"2"
+        assert len(store) == 1
+
+    # -- scan ----------------------------------------------------------------
+
+    def test_scan_from_start_key_is_inclusive(self):
+        store = self.make()
+        keys = populate(store, 6)
+        result = store.scan(keys[2])
+        assert [key for key, _ in result] == keys[2:]
+
+    def test_scan_end_key_is_exclusive(self):
+        store = self.make()
+        keys = populate(store, 6)
+        result = store.scan(keys[1], end_key=keys[4])
+        assert [key for key, _ in result] == keys[1:4]
+
+    def test_scan_empty_range_returns_nothing(self):
+        store = self.make()
+        keys = populate(store, 4)
+        assert store.scan(keys[2], end_key=keys[2]) == []
+        assert store.scan("zzzz") == []
+
+    def test_scan_limit_zero_returns_nothing(self):
+        store = self.make()
+        populate(store, 4)
+        assert store.scan("key-0000", limit=0) == []
+
+    def test_scan_limit_caps_results(self):
+        store = self.make()
+        keys = populate(store, 8)
+        result = store.scan(keys[0], limit=3)
+        assert [key for key, _ in result] == keys[:3]
+
+    def test_scan_unbounded_end_reaches_last_key(self):
+        store = self.make()
+        keys = populate(store, 5)
+        result = store.scan(keys[0], end_key=None)
+        assert [key for key, _ in result] == keys
+
+    def test_scan_skips_deleted_records(self):
+        store = self.make()
+        keys = populate(store, 5)
+        store.delete(keys[2])
+        result = store.scan(keys[0])
+        assert keys[2] not in [key for key, _ in result]
+        assert len(result) == 4
+
+    def test_scan_start_before_first_key(self):
+        store = self.make()
+        keys = populate(store, 3)
+        result = store.scan("")
+        assert [key for key, _ in result] == keys

@@ -1,0 +1,36 @@
+"""Run the shared KV conformance suite over every backend.
+
+One test class per backend, all inheriting the behavioural contract from
+``kv_suite.KVStoreContract`` — a regression in any store (or a divergence
+between them) fails here with the backend's name in the test id.
+"""
+
+from __future__ import annotations
+
+from kv_suite import KVStoreContract, MemTableKVAdapter, _small_lsm
+
+from repro.storage.kvstore import InMemoryKVStore
+
+
+class TestInMemoryKVStoreContract(KVStoreContract):
+    make = staticmethod(InMemoryKVStore)
+
+
+class TestLSMStoreContract(KVStoreContract):
+    make = staticmethod(_small_lsm)
+
+
+class TestMemTableContract(KVStoreContract):
+    make = staticmethod(MemTableKVAdapter)
+
+
+class TestLSMStoreFlushesDuringSuite:
+    """The suite's LSM configuration actually exercises flush/compaction."""
+
+    def test_small_flush_threshold_triggers_sstables(self):
+        store = _small_lsm()
+        for index in range(64):
+            store.put(f"key-{index:04d}", b"x" * 16)
+        assert store.flushes > 0
+        assert store.get("key-0000") == b"x" * 16
+        assert len(store) == 64
