@@ -1,0 +1,262 @@
+"""Hot-path benchmark: worker scaling and serial throughput of the gateway.
+
+Drives one 32-feed fleet (preloaded stores, mixed read/write synthetic
+workloads) through the parallel epoch engine, sweeping ``num_workers`` from 1
+to 8 at a fixed shard plan.  Reported per worker count: wall time, ops/sec,
+feed-layer gas/op and speedup versus the serial run.  Two hard checks:
+
+* **equivalence** — every parallel run's telemetry fingerprint and per-feed
+  gas bills must be bit-identical to the serial run's (the engine's core
+  guarantee); a violation exits non-zero, which is what the CI perf-smoke
+  job gates on;
+* **trajectory** — results are written to ``BENCH_hotpath.json`` so future
+  PRs have a recorded perf trajectory to beat.
+
+A note on scaling: the engine parallelises each shard's off-chain work on a
+thread pool, so the measured speedup is bounded by the host — on a single
+hardware thread (or a GIL-bound CPython without free threading) parallel runs
+can only match the serial throughput, never multiply it; the recorded
+``host.cpus`` field says which regime produced the numbers.
+
+Runs under pytest (the repo's benchmark harness) or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # <60s CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.types import KVRecord, Operation
+from repro.core.config import GrubConfig
+from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec
+from repro.analysis.reporting import format_rate, format_table
+from repro.workloads.synthetic import SyntheticWorkload
+
+NUM_FEEDS = 32
+NUM_SHARDS = 8
+EPOCH_SIZE = 16
+FULL_WORKERS = (1, 2, 4, 8)
+QUICK_WORKERS = (1, 4, 8)
+FULL_OPS_PER_FEED = 256
+QUICK_OPS_PER_FEED = 96
+FULL_REPEATS = 3
+QUICK_REPEATS = 1
+PRELOAD_KEYS = 128
+
+
+def build_workloads(ops_per_feed: int) -> Dict[str, List[Operation]]:
+    return {
+        f"feed-{index:02d}": SyntheticWorkload(
+            read_write_ratio=4.0,
+            num_operations=ops_per_feed,
+            num_keys=32,
+            key_prefix=f"asset{index:02d}-",
+            seed=index + 1,
+        ).operations()
+        for index in range(NUM_FEEDS)
+    }
+
+
+def build_registry() -> FeedRegistry:
+    registry = FeedRegistry()
+    config = GrubConfig(epoch_size=EPOCH_SIZE, algorithm="memoryless", k=2)
+    for index in range(NUM_FEEDS):
+        preload = [
+            KVRecord.make(f"asset{index:02d}-{j:04d}", bytes(32))
+            for j in range(PRELOAD_KEYS)
+        ]
+        registry.create_feed(
+            FeedSpec(feed_id=f"feed-{index:02d}", config=config, preload=preload)
+        )
+    return registry
+
+
+def run_configuration(
+    num_workers: int, workloads: Dict[str, List[Operation]], repeats: int
+) -> dict:
+    """Run the fleet at one worker count; keep the best wall time of ``repeats``."""
+    best: Optional[dict] = None
+    fingerprint = None
+    gas_bills = None
+    for _ in range(repeats):
+        registry = build_registry()
+        scheduler = EpochScheduler(
+            registry, num_shards=NUM_SHARDS, num_workers=num_workers
+        )
+        fleet = scheduler.run(workloads)
+        fingerprint = fleet.fingerprint()
+        gas_bills = {
+            feed_id: registry.chain.ledger.scope_total(feed_id)
+            for feed_id in fleet.feeds
+        }
+        sample = {
+            "num_workers": num_workers,
+            "wall_seconds": round(fleet.wall_seconds, 4),
+            "ops_per_sec": round(fleet.ops_per_second, 1),
+            "gas_per_op": round(fleet.gas_per_operation, 2),
+            "operations": fleet.operations,
+            "cache_hit_rate": round(fleet.cache_hit_rate, 4),
+        }
+        if best is None or sample["wall_seconds"] < best["wall_seconds"]:
+            best = sample
+    best["fingerprint"] = fingerprint
+    best["gas_bills"] = gas_bills
+    return best
+
+
+def run_sweep(worker_counts: Sequence[int], ops_per_feed: int, repeats: int) -> dict:
+    workloads = build_workloads(ops_per_feed)
+    results = [
+        run_configuration(workers, workloads, repeats) for workers in worker_counts
+    ]
+
+    serial = results[0]
+    assert serial["num_workers"] == 1, "sweep must start with the serial run"
+    violations = []
+    for result in results[1:]:
+        if result["fingerprint"] != serial["fingerprint"]:
+            violations.append(f"num_workers={result['num_workers']}: telemetry differs")
+        if result["gas_bills"] != serial["gas_bills"]:
+            violations.append(f"num_workers={result['num_workers']}: gas bills differ")
+    if violations:
+        raise AssertionError(
+            "parallel-vs-serial equivalence violated: " + "; ".join(violations)
+        )
+
+    rows = []
+    sweep_records = []
+    for result in results:
+        speedup = serial["wall_seconds"] / result["wall_seconds"]
+        rows.append(
+            (
+                result["num_workers"],
+                f"{result['wall_seconds']:.3f}s",
+                format_rate(result["ops_per_sec"], "ops/s"),
+                f"{speedup:.2f}x",
+                result["gas_per_op"],
+                f"{result['cache_hit_rate'] * 100:.1f}%",
+            )
+        )
+        sweep_records.append(
+            {
+                "num_workers": result["num_workers"],
+                "wall_seconds": result["wall_seconds"],
+                "ops_per_sec": result["ops_per_sec"],
+                "speedup_vs_serial": round(speedup, 3),
+                "gas_per_op": result["gas_per_op"],
+                "cache_hit_rate": result["cache_hit_rate"],
+            }
+        )
+    print()
+    print(
+        format_table(
+            ["workers", "wall", "throughput", "speedup", "gas/op", "cache hit"],
+            rows,
+            title=(
+                f"Parallel epoch engine — {NUM_FEEDS} feeds, "
+                f"{ops_per_feed} ops/feed, {NUM_SHARDS} shards"
+            ),
+        )
+    )
+    print(
+        "equivalence: telemetry fingerprints and per-feed gas bills identical "
+        "across all worker counts"
+    )
+    return {
+        "benchmark": "hotpath",
+        "source": "benchmarks/bench_hotpath.py",
+        "config": {
+            "num_feeds": NUM_FEEDS,
+            "num_shards": NUM_SHARDS,
+            "epoch_size": EPOCH_SIZE,
+            "ops_per_feed": ops_per_feed,
+            "preload_keys_per_feed": PRELOAD_KEYS,
+            "repeats": repeats,
+            "worker_counts": list(worker_counts),
+        },
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "cpus": os.cpu_count(),
+            "platform": platform.platform(),
+        },
+        "equivalence": "bit-identical across worker counts",
+        "sweep": sweep_records,
+        "serial": {
+            "ops_per_sec": serial["ops_per_sec"],
+            "gas_per_op": serial["gas_per_op"],
+        },
+    }
+
+
+def write_results(payload: dict, output: Path) -> None:
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"results written to {output}")
+
+
+def test_hotpath(benchmark):
+    """Pytest entry: quick sweep under the benchmark harness."""
+    quick = os.environ.get("GRUB_BENCH_SCALE") == "quick"
+    workers = QUICK_WORKERS if quick else FULL_WORKERS
+    ops = QUICK_OPS_PER_FEED if quick else FULL_OPS_PER_FEED
+    repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    payload = benchmark.pedantic(
+        run_sweep, args=(workers, ops, repeats), rounds=1, iterations=1
+    )
+    assert payload["sweep"], "sweep produced no records"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep for CI (<60s): workers 1/4/8 at 96 ops/feed, 1 repeat",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="*",
+        default=None,
+        help="worker counts to sweep (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--ops", type=int, default=None, help="operations per feed"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="repeats per configuration (best kept)"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_hotpath.json",
+        help="where to write the JSON results (default: repo-root BENCH_hotpath.json)",
+    )
+    args = parser.parse_args()
+    if args.quick:
+        workers: Sequence[int] = tuple(args.workers) if args.workers else QUICK_WORKERS
+        ops = args.ops or QUICK_OPS_PER_FEED
+        repeats = args.repeats or QUICK_REPEATS
+    else:
+        workers = tuple(args.workers) if args.workers else FULL_WORKERS
+        ops = args.ops or FULL_OPS_PER_FEED
+        repeats = args.repeats or FULL_REPEATS
+    started = time.perf_counter()
+    payload = run_sweep(workers, ops, repeats)
+    payload["config"]["quick"] = bool(args.quick)
+    write_results(payload, args.output)
+    print(f"sweep completed in {time.perf_counter() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,9 @@ class AuthenticatedKVStore:
     _free_slots: List[int] = field(default_factory=list)
     _sorted_keys: List[str] = field(default_factory=list)
     _tree: MerkleTree = field(default_factory=lambda: MerkleTree([]))
+    #: Keys currently in the R state, maintained incrementally so the per-epoch
+    #: control-plane run is O(replicated) instead of an O(n) scan of the store.
+    _replicated_keys: set = field(default_factory=set)
 
     # -- bulk loading -------------------------------------------------------
 
@@ -112,6 +115,11 @@ class AuthenticatedKVStore:
         self._slots = [record.key for record in records]
         self._slot_of = {record.key: index for index, record in enumerate(records)}
         self._free_slots = []
+        self._replicated_keys = {
+            record.key
+            for record in records
+            if record.state is ReplicationState.REPLICATED
+        }
         for record in records:
             self.backing.put(record.prefixed_key, record.value)
         self._tree = MerkleTree([self._leaf_hash(record) for record in records])
@@ -134,10 +142,24 @@ class AuthenticatedKVStore:
         return [self._records[key] for key in self._sorted_keys]
 
     def replicated_records(self) -> List[KVRecord]:
-        return [r for r in self.records() if r.state is ReplicationState.REPLICATED]
+        """Records in the R state, key-sorted; O(replicated), not O(n)."""
+        return [self._records[key] for key in sorted(self._replicated_keys)]
+
+    def replicated_keys(self) -> List[str]:
+        """Key-sorted keys currently in the R state (no record objects built)."""
+        return sorted(self._replicated_keys)
 
     def keys(self) -> List[str]:
         return list(self._sorted_keys)
+
+    def select_keys(self, start_key: str, count: int) -> List[str]:
+        """Up to ``count`` consecutive keys starting at ``start_key``.
+
+        A bisect into the maintained sorted-key view — scan drivers previously
+        copied the entire key list per scan operation to do this.
+        """
+        start = bisect.bisect_left(self._sorted_keys, start_key)
+        return self._sorted_keys[start : start + count]
 
     def proof_length(self) -> int:
         """Current proof length in digests (grows with the dataset size)."""
@@ -194,6 +216,47 @@ class AuthenticatedKVStore:
             self._replace_record(existing, record)
         return self.root
 
+    def apply_updates(
+        self,
+        updates: Sequence[Tuple[str, bytes, Optional[ReplicationState]]],
+    ) -> bytes:
+        """Apply a batch of ``(key, value, state)`` updates in one tree pass.
+
+        Equivalent to calling :meth:`apply_update` per tuple in order, but
+        leaf replacements are staged and their root paths recomputed once via
+        :meth:`MerkleTree.recompute_paths` — a feed's epoch write batch
+        typically clusters under shared subtrees, so the shared interior
+        hashes are computed once per batch.  Fresh inserts take the normal
+        incremental path (leaf storage stays current throughout, so the mix
+        is safe).  Returns the new root.
+        """
+        staged: List[int] = []
+        for key, value, state in updates:
+            existing = self._records.get(key)
+            if existing is None:
+                new_state = state or ReplicationState.NOT_REPLICATED
+                self._insert_record(
+                    KVRecord(key=key, value=value, state=new_state, version=0)
+                )
+                continue
+            new_state = state or existing.state
+            record = KVRecord(
+                key=key, value=value, state=new_state, version=existing.version + 1
+            )
+            slot = self._slot_of[key]
+            self._records[key] = record
+            if new_state is ReplicationState.REPLICATED:
+                self._replicated_keys.add(key)
+            else:
+                self._replicated_keys.discard(key)
+            if existing.prefixed_key != record.prefixed_key:
+                self.backing.delete(existing.prefixed_key)
+            self.backing.put(record.prefixed_key, record.value)
+            self._tree.stage_leaf(slot, self._leaf_hash(record))
+            staged.append(slot)
+        self._tree.recompute_paths(staged)
+        return self.root
+
     def apply_state_transition(self, key: str, new_state: ReplicationState) -> bytes:
         """Re-authenticate ``key`` under ``new_state`` and return the new root."""
         existing = self._records.get(key)
@@ -213,6 +276,7 @@ class AuthenticatedKVStore:
         self._slots[slot] = None
         self._free_slots.append(slot)
         del self._records[key]
+        self._replicated_keys.discard(key)
         index = bisect.bisect_left(self._sorted_keys, key)
         if index < len(self._sorted_keys) and self._sorted_keys[index] == key:
             self._sorted_keys.pop(index)
@@ -231,6 +295,34 @@ class AuthenticatedKVStore:
         return QueryResult(
             key=key, record=record, proof=self._tree.prove(index), root=self.root
         )
+
+    def query_many(self, keys: Sequence[str]) -> Dict[str, QueryResult]:
+        """Produce records + proofs for several keys in one batched tree pass.
+
+        Used by the SP when answering an epoch's deliver batch: instead of
+        one :meth:`query` (and one root-path walk) per requested record, all
+        proofs are generated by :meth:`MerkleTree.prove_many`, which shares
+        the sibling digests common to the batch.  Each result is identical to
+        what :meth:`query` would return for the same key against the same
+        root.
+        """
+        results: Dict[str, QueryResult] = {}
+        present: Dict[str, int] = {}
+        root = self.root
+        for key in keys:
+            if key in results or key in present:
+                continue
+            record = self._records.get(key)
+            if record is None:
+                results[key] = QueryResult(key=key, record=None, proof=None, root=root)
+            else:
+                present[key] = self._slot_of[key]
+        proofs = self._tree.prove_many(list(present.values()))
+        for key, index in present.items():
+            results[key] = QueryResult(
+                key=key, record=self._records[key], proof=proofs[index], root=root
+            )
+        return results
 
     def query_range(self, start_key: str, end_key: str) -> List[QueryResult]:
         """Per-record proofs for every NR record with key in ``[start_key, end_key]``."""
@@ -266,6 +358,8 @@ class AuthenticatedKVStore:
     def _insert_record(self, record: KVRecord) -> None:
         bisect.insort(self._sorted_keys, record.key)
         self._records[record.key] = record
+        if record.state is ReplicationState.REPLICATED:
+            self._replicated_keys.add(record.key)
         self.backing.put(record.prefixed_key, record.value)
         if self._free_slots:
             slot = self._free_slots.pop()
@@ -280,6 +374,10 @@ class AuthenticatedKVStore:
     def _replace_record(self, old: KVRecord, new: KVRecord) -> None:
         slot = self._slot_of[old.key]
         self._records[new.key] = new
+        if new.state is ReplicationState.REPLICATED:
+            self._replicated_keys.add(new.key)
+        else:
+            self._replicated_keys.discard(new.key)
         if old.prefixed_key != new.prefixed_key:
             self.backing.delete(old.prefixed_key)
         self.backing.put(new.prefixed_key, new.value)

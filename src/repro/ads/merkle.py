@@ -10,7 +10,7 @@ through its meter, and off-chain parties can call them for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import IntegrityError
 from repro.common.hashing import EMPTY_DIGEST, hash_pair, keccak
@@ -136,6 +136,47 @@ class MerkleTree:
             leaf_index=index, leaf_count=len(self._leaves), path=tuple(path)
         )
 
+    def prove_many(self, indices: Sequence[int]) -> Dict[int, MerkleProof]:
+        """Authentication paths for several leaves in one tree pass.
+
+        Batched proof generation for a deliver batch: the level lists are
+        bound once and sibling :class:`ProofNode` objects are built at most
+        once per (level, position) and shared between the returned proofs —
+        requests in one epoch cluster under common subtrees, so neighbouring
+        proofs reuse most of their upper path nodes.  Each returned proof is
+        identical to what :meth:`prove` would produce for the same index.
+        """
+        levels = self._levels[:-1]
+        leaf_count = len(self._leaves)
+        shared_nodes: Dict[Tuple[int, int], ProofNode] = {}
+        proofs: Dict[int, MerkleProof] = {}
+        for index in indices:
+            if index in proofs:
+                continue
+            if not 0 <= index < leaf_count:
+                raise IndexError(f"leaf index {index} out of range")
+            path: List[ProofNode] = []
+            position = index
+            for depth, level in enumerate(levels):
+                sibling_index = position ^ 1
+                node = shared_nodes.get((depth, sibling_index))
+                if node is None:
+                    sibling = (
+                        level[sibling_index]
+                        if sibling_index < len(level)
+                        else EMPTY_DIGEST
+                    )
+                    # A sibling's side is fixed by its parity: even positions
+                    # sit to the left of their (odd) partner.
+                    node = ProofNode(digest=sibling, is_left=sibling_index % 2 == 0)
+                    shared_nodes[(depth, sibling_index)] = node
+                path.append(node)
+                position //= 2
+            proofs[index] = MerkleProof(
+                leaf_index=index, leaf_count=leaf_count, path=tuple(path)
+            )
+        return proofs
+
     def prove_range(self, start_index: int, count: int) -> RangeProof:
         """Produce a proof for ``count`` consecutive leaves starting at ``start_index``."""
         if count < 0:
@@ -181,6 +222,52 @@ class MerkleTree:
             raise IndexError(f"leaf index {index} out of range")
         self._leaves[index] = new_hash
         return self._update_path(index, new_hash)
+
+    def stage_leaf(self, index: int, new_hash: bytes) -> None:
+        """Write a leaf value *without* recomputing its root path.
+
+        Half of the batched-update protocol: a caller applying many point
+        updates stages each leaf, then calls :meth:`recompute_paths` once with
+        every staged index, so interior nodes shared by several staged leaves
+        are hashed once per batch instead of once per leaf.  Until the
+        recompute, :attr:`root` and interior levels are stale — callers must
+        not read them mid-batch.  Leaf storage itself stays current, so
+        interleaved appends (even ones that trigger a rebuild) remain correct.
+        """
+        if not 0 <= index < len(self._leaves):
+            raise IndexError(f"leaf index {index} out of range")
+        self._leaves[index] = new_hash
+        self._levels[0][index] = new_hash
+
+    def recompute_paths(self, indices: Sequence[int]) -> bytes:
+        """Recompute the root paths of the staged leaves at ``indices``.
+
+        Interior nodes are recomputed level by level over the *set* of dirty
+        parents, so paths that converge (staged leaves under a common subtree,
+        the usual shape of one feed's epoch write batch) are hashed once.
+        Returns the new root; equivalent to calling :meth:`update_leaf` for
+        each staged leaf individually.
+        """
+        if not indices:
+            return self.root
+        parents = {index >> 1 for index in indices}
+        for depth in range(len(self._levels) - 1):
+            level = self._levels[depth]
+            parent_level = self._levels[depth + 1]
+            next_parents = set()
+            for parent in parents:
+                left_index = parent * 2
+                right_index = left_index + 1
+                left = level[left_index]
+                right = (
+                    level[right_index]
+                    if right_index < len(level)
+                    else EMPTY_DIGEST
+                )
+                parent_level[parent] = hash_pair(left, right)
+                next_parents.add(parent >> 1)
+            parents = next_parents
+        return self.root
 
     def append_leaf(self, new_hash: bytes) -> bytes:
         """Append a leaf at the end and return the new root.

@@ -15,8 +15,10 @@ theorems can be checked in tests.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.chain.block import Block
 from repro.chain.contract import Contract
@@ -46,6 +48,25 @@ class ChainParameters:
     default_gas_limit: Optional[int] = None
 
 
+@dataclass
+class ExecutionBuffer:
+    """Deferred side effects of internal calls executed in isolation.
+
+    The parallel epoch engine drives independent shards concurrently, but the
+    chain's gas ledger and event log are shared, globally ordered structures.
+    A worker therefore executes its shard's internal calls inside
+    :meth:`Blockchain.isolated_execution`, which routes every gas charge into
+    this buffer's private ledger and every emitted event into its private
+    list; the scheduler then merges the buffers back serially, in fixed shard
+    order, via :meth:`Blockchain.absorb`.  Because gas accumulation is
+    commutative and events keep their per-shard order, a run merged this way
+    is bit-identical to a serial run of the same shard plan.
+    """
+
+    ledger: GasLedger = field(default_factory=GasLedger)
+    events: List[LogEvent] = field(default_factory=list)
+
+
 class Blockchain:
     """A single logical view of the blockchain shared by all simulated nodes.
 
@@ -71,7 +92,45 @@ class Blockchain:
         self.blocks: List[Block] = []
         self.pending: List[Transaction] = []
         self.receipts: Dict[int, TransactionReceipt] = {}
+        self._isolation = threading.local()
         self._genesis()
+
+    # -- isolated execution (parallel epoch engine) ---------------------------
+
+    @contextmanager
+    def isolated_execution(self) -> Iterator[ExecutionBuffer]:
+        """Buffer this thread's internal-call side effects for a later merge.
+
+        While the context is active, :meth:`execute_internal_call` on this
+        thread charges gas to the buffer's private ledger and collects emitted
+        events in the buffer instead of the global event log.  The chain's
+        height, clock and contract storage are untouched by the buffering —
+        only the two globally *ordered* structures are deferred — so per-feed
+        contract state advances exactly as it would serially.  The caller must
+        pass the buffer to :meth:`absorb` (in a deterministic order) before
+        anything reads the ledger or polls the event log.
+        """
+        if getattr(self._isolation, "buffer", None) is not None:
+            raise ReproError("isolated_execution contexts cannot be nested")
+        buffer = ExecutionBuffer()
+        self._isolation.buffer = buffer
+        try:
+            yield buffer
+        finally:
+            self._isolation.buffer = None
+
+    def absorb(self, buffer: ExecutionBuffer) -> None:
+        """Merge an isolation buffer's charges and events into the chain."""
+        self.ledger.merge(buffer.ledger)
+        for event in buffer.events:
+            self.event_log.append(
+                contract=event.contract,
+                name=event.name,
+                payload=event.payload,
+                block_number=event.block_number,
+                transaction_index=0,
+            )
+        buffer.events.clear()
 
     # -- deployment and lookup ----------------------------------------------
 
@@ -198,9 +257,10 @@ class Blockchain:
         enclosing transaction is committed within the current block).
         """
         contract = self.get_contract(contract_address)
+        buffer: Optional[ExecutionBuffer] = getattr(self._isolation, "buffer", None)
         meter = GasMeter(
             schedule=self.schedule,
-            ledger=self.ledger,
+            ledger=self.ledger if buffer is None else buffer.ledger,
             limit=gas_limit,
             layer=layer,
             scope=scope,
@@ -213,6 +273,9 @@ class Blockchain:
         )
         method = getattr(contract, function)
         result = method(ctx, **kwargs)
+        if buffer is not None:
+            buffer.events.extend(ctx.emitted)
+            return result
         for event in ctx.emitted:
             self.event_log.append(
                 contract=event.contract,

@@ -77,7 +77,7 @@ class Contract:
         router bills each tenant's group to that tenant's scope).
         """
         child = ctx.child(sender=self.address, layer=layer, scope=scope)
-        child.meter.charge(child.meter.schedule.call_cost(), "call")
+        child.meter.charge(child.meter.schedule.call_base, "call")
         method = getattr(callee, function, None)
         if method is None:
             raise ContractError(f"{callee.address} has no function {function!r}")
@@ -95,11 +95,15 @@ class Contract:
 
 
 def _payload_size(value: Any) -> int:
-    """Approximate ABI-encoded size of one event argument in bytes."""
-    if isinstance(value, bytes):
-        return len(value)
+    """Approximate ABI-encoded size of one event argument in bytes.
+
+    Checked most-common-type first: event payloads are dominated by string
+    keys/addresses, then byte values (request/deliver events fire per miss).
+    """
     if isinstance(value, str):
         return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
     if isinstance(value, bool):
         return 32
     if isinstance(value, int):

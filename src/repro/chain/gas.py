@@ -141,13 +141,14 @@ LAYER_FEED = "feed"
 LAYER_APPLICATION = "application"
 
 
-@dataclass
+@dataclass(slots=True)
 class GasLedger:
     """Accumulates gas charges attributed to categories and layers.
 
     Categories are free-form strings such as ``"transaction"``, ``"sstore"``,
     ``"sload"``, ``"hash"``, ``"log"``; layers distinguish the data-feed
-    protocol from application logic running in DU callbacks.
+    protocol from application logic running in DU callbacks.  Slotted because
+    every gas charge in the simulator lands here.
     """
 
     total: int = 0

@@ -12,7 +12,7 @@ expensive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.chain.vm import GasMeter
 from repro.common.encoding import encode_value, words_for_bytes, Value
@@ -29,20 +29,28 @@ class ContractStorage:
     writes: int = 0
     reads: int = 0
     deletes: int = 0
-    #: Undo journal of the transaction currently executing (``None`` outside
-    #: one): slot → its pre-transaction value, or ``_ABSENT``.  Only the first
-    #: write of a slot per transaction is journalled, so a revert is O(writes)
-    #: instead of a full-storage copy.
+    #: Undo journal of the transaction currently executing: slot → its
+    #: pre-transaction value, or ``_ABSENT``.  Allocated lazily on the first
+    #: journalled write — the chain journals *every* deployed contract per
+    #: transaction, and in a multi-tenant fleet most contracts are untouched
+    #: by any given transaction, so they must not pay a dict allocation each.
     _journal: Optional[Dict[str, object]] = field(default=None, repr=False)
+    _in_tx: bool = field(default=False, repr=False)
+    #: Invoked after a rollback (or wholesale restore) mutates ``slots``
+    #: behind the owning contract's back, so contracts keeping derived state
+    #: (e.g. the storage manager's incremental replica counter) can resync.
+    on_rollback: Optional[Callable[[], None]] = field(default=None, repr=False)
 
     # -- transaction revert bookkeeping -------------------------------------
 
     def begin_tx(self) -> None:
         """Start journalling writes so a failed transaction can roll back."""
-        self._journal = {}
+        self._in_tx = True
+        self._journal = None
 
     def commit_tx(self) -> None:
         """Discard the journal (the transaction succeeded)."""
+        self._in_tx = False
         self._journal = None
 
     def rollback_tx(self) -> None:
@@ -53,11 +61,19 @@ class ContractStorage:
                     self.slots.pop(slot, None)
                 else:
                     self.slots[slot] = previous  # type: ignore[assignment]
+            if self.on_rollback is not None:
+                self.on_rollback()
+        self._in_tx = False
         self._journal = None
 
     def _record(self, slot: str) -> None:
-        if self._journal is not None and slot not in self._journal:
-            self._journal[slot] = self.slots.get(slot, _ABSENT)
+        if not self._in_tx:
+            return
+        journal = self._journal
+        if journal is None:
+            journal = self._journal = {}
+        if slot not in journal:
+            journal[slot] = self.slots.get(slot, _ABSENT)
 
     def store(self, meter: GasMeter, slot: str, value: Value) -> None:
         """Write ``value`` into ``slot`` charging insert or update pricing."""
@@ -90,10 +106,14 @@ class ContractStorage:
         self.writes += 1
 
     def load(self, meter: GasMeter, slot: str) -> Optional[bytes]:
-        """Read ``slot``; a miss still charges a one-word ``SLOAD``."""
+        """Read ``slot``; a miss still charges a one-word ``SLOAD``.
+
+        The word arithmetic is inlined: this is the single hottest storage
+        path (every ``gGet`` of every feed lands here).
+        """
         value = self.slots.get(slot)
-        words = max(1, words_for_bytes(len(value))) if value is not None else 1
-        meter.charge(meter.schedule.storage_read_cost(words), "sload")
+        words = ((len(value) + 31) >> 5) or 1 if value is not None else 1
+        meter.charge(meter.schedule.storage_read_per_word * words, "sload")
         self.reads += 1
         return value
 
@@ -148,3 +168,5 @@ class ContractStorage:
     def restore(self, snapshot: Dict[str, bytes]) -> None:
         """Restore a snapshot taken before a reverted call."""
         self.slots = dict(snapshot)
+        if self.on_rollback is not None:
+            self.on_rollback()

@@ -16,13 +16,18 @@ from repro.chain.gas import GasLedger, GasSchedule, LAYER_FEED
 from repro.common.errors import OutOfGasError
 
 
-@dataclass
+@dataclass(slots=True)
 class GasMeter:
     """Meters gas for a single execution (transaction or internal call).
 
     The meter both enforces a limit (raising :class:`OutOfGasError` when the
     limit would be exceeded) and attributes every charge to the blockchain's
     global :class:`GasLedger` so experiments can aggregate by category/layer.
+
+    ``charge`` is the innermost call of every benchmark (every storage access,
+    hash, log and internal call goes through it), so the class is slotted and
+    the common case — no limit, no parent meter, default attribution — takes
+    the shortest possible path.
     """
 
     schedule: GasSchedule
@@ -55,7 +60,8 @@ class GasMeter:
             raise ValueError("gas charges must be non-negative")
         if self.limit is not None and self.used + amount > self.limit:
             raise OutOfGasError(requested=amount, remaining=self.limit - self.used)
-        self._propagate(amount)
+        if self.parent is not None:
+            self._propagate(amount)
         self.used += amount
         self.ledger.charge(amount, category, layer or self.layer, scope=scope or self.scope)
         return amount
@@ -88,7 +94,7 @@ class GasMeter:
         return self.limit - self.used
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionContext:
     """Context threaded through contract calls within one transaction.
 

@@ -25,8 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 from repro.common.types import Operation, OperationKind, ReplicationState
-from repro.core.decision.base import Decision, DecisionAlgorithm
-from repro.core.storage_manager import GGetCall, StorageManagerContract
+from repro.core.storage_manager import CallHistoryCursor, StorageManagerContract
 
 
 @dataclass
@@ -40,35 +39,41 @@ class WorkloadMonitor:
     interleaving would systematically overstate the number of *consecutive*
     reads, which is exactly the quantity the memoryless algorithm thresholds
     on.
+
+    The on-chain read trace is consumed through a registered
+    :class:`~repro.core.storage_manager.CallHistoryCursor` — an in-place view
+    that never copies a history suffix — and registering it is what lets the
+    contract compact consumed history each epoch.
     """
 
     storage_manager: StorageManagerContract
-    _call_cursor: int = 0
     _local_writes: List[tuple] = field(default_factory=list)
     observed_reads: int = 0
     observed_writes: int = 0
+    _cursor: Optional[CallHistoryCursor] = None
+
+    def __post_init__(self) -> None:
+        self._cursor = self.storage_manager.open_history_cursor()
 
     def record_local_write(self, operation: Operation) -> None:
         """Register a write the DO produced locally during the current epoch."""
-        position = len(self.storage_manager.call_history)
+        position = self.storage_manager.history_end
         self._local_writes.append((position, operation))
         self.observed_writes += 1
 
     def fetch_chain_reads(self) -> List[tuple]:
-        """Pull the gGet call-history suffix from the DO's full node.
+        """Pull new gGet calls from the DO's full node via the cursor view.
 
         Returns ``(position, Operation)`` pairs where ``position`` is the
-        call's index in the chain's native invocation log.
+        call's absolute index in the chain's native invocation log.
         """
-        calls: List[GGetCall] = self.storage_manager.calls_since(self._call_cursor)
         reads = [
             (
-                self._call_cursor + offset,
-                Operation(kind=OperationKind.READ, key=call.key, sequence=offset),
+                position,
+                Operation(kind=OperationKind.READ, key=call.key, sequence=position),
             )
-            for offset, call in enumerate(calls)
+            for position, call in self._cursor.drain()
         ]
-        self._call_cursor += len(calls)
         self.observed_reads += len(reads)
         return reads
 

@@ -150,8 +150,7 @@ class DataOwner:
         (a standalone ``update`` transaction, or a gateway ``update_batch``
         grouped with other feeds).
         """
-        replicated_keys = [r.key for r in self.sp_store.replicated_records()]
-        transitions = self.control_plane.run_epoch(replicated_keys)
+        transitions = self.control_plane.run_epoch(self.sp_store.replicated_keys())
 
         entries: List[UpdateEntry] = []
         written_keys: Dict[str, ReplicationState] = {}
@@ -160,7 +159,12 @@ class DataOwner:
         # Steps w1/w2 for the epoch's buffered writes: every update runs the
         # ADS protocol with the SP; updates whose record is (or becomes)
         # replicated are additionally carried by the ``update`` transaction so
-        # the on-chain replica tracks every tick of the feed.
+        # the on-chain replica tracks every tick of the feed.  When witnesses
+        # are not verified per update (the default — the DO trusts its own
+        # mirror), the whole epoch's writes land in one batched tree pass.
+        batched: Optional[List[Tuple[str, bytes, ReplicationState]]] = (
+            None if self.verify_witnesses else []
+        )
         for operation in self._write_buffer:
             if self.verify_witnesses:
                 witness = self.sp_store.update_witness(operation.key)
@@ -168,7 +172,10 @@ class DataOwner:
             decided = transitions.get(
                 operation.key, self.control_plane.decision_for(operation.key)
             )
-            self.sp_store.apply_update(operation.key, operation.value or b"", decided)
+            if batched is None:
+                self.sp_store.apply_update(operation.key, operation.value or b"", decided)
+            else:
+                batched.append((operation.key, operation.value or b"", decided))
             written_keys[operation.key] = decided
             if decided is ReplicationState.REPLICATED:
                 already_on_chain = (
@@ -184,6 +191,9 @@ class DataOwner:
                     )
                 )
                 replicated_this_epoch.add(operation.key)
+
+        if batched:
+            self.sp_store.apply_updates(batched)
 
         # Materialise state transitions for keys that were not written this epoch.
         for key, new_state in transitions.items():

@@ -326,6 +326,10 @@ class GrubSystem:
         report.evictions += summary.evictions
         report.deliveries += summary.deliveries
         report.update_transactions += summary.update_transactions
+        # The control plane's monitor has consumed this epoch's read trace by
+        # now; drop the consumed prefix so long runs keep O(epoch) history in
+        # memory instead of O(run).
+        self.storage_manager.compact_call_history()
 
     def _run_epoch(
         self,
@@ -362,13 +366,7 @@ class GrubSystem:
         )
 
     def _scan_keys(self, operation: Operation) -> List[str]:
-        keys = self.sp_store.keys()
-        if not keys:
-            return [operation.key]
-        import bisect
-
-        start = bisect.bisect_left(keys, operation.key)
-        selected = keys[start : start + operation.scan_length]
+        selected = self.sp_store.select_keys(operation.key, operation.scan_length)
         return selected or [operation.key]
 
     def _finalise_report(self, report: RunReport) -> None:

@@ -122,11 +122,17 @@ class ServiceProvider:
     # -- deliver -------------------------------------------------------------------
 
     def build_deliver_items(self, requests: List[PendingRequest]) -> List[DeliverItem]:
-        """Look up requested records and attach proofs (honest behaviour)."""
+        """Look up requested records and attach proofs (honest behaviour).
+
+        Proofs for the whole batch are generated in one tree pass
+        (:meth:`AuthenticatedKVStore.query_many`) rather than one root-path
+        walk per request; duplicate keys within the batch share one result.
+        """
         items: List[DeliverItem] = []
         seen_keys: set = set()
+        results = self.store.query_many([request.key for request in requests])
         for request in requests:
-            result = self.store.query(request.key)
+            result = results[request.key]
             if result.record is None:
                 # Honest SP answers misses by omitting the record; the DU's
                 # callback simply never fires for an unknown key.

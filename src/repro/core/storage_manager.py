@@ -29,7 +29,8 @@ path the protocol actually takes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.ads.merkle import MerkleProof, verify_membership
@@ -92,19 +93,66 @@ class UpdateEntry:
         return 32 + value_bytes + (32 if self.is_transition else 0)
 
 
-@dataclass
+@dataclass(slots=True)
 class GGetCall:
     """Record of one gGet invocation, mirrored from the chain's native call log.
 
     The control plane's workload monitor reads these (through the DO's full
     node) to learn the on-chain read trace; this costs no gas because the
-    chain logs contract invocations natively.
+    chain logs contract invocations natively.  Slotted: one is allocated per
+    on-chain read, the hottest path of every benchmark.
     """
 
     key: str
     hit_replica: bool
     epoch_hint: int
     consumer: str
+
+
+class CallHistoryCursor:
+    """A registered consumer's position in the gGet call history.
+
+    Replaces the old pattern of unbounded history plus per-epoch
+    ``calls_since(index)`` suffix copies: a consumer opens a cursor once and
+    takes the new calls via :meth:`drain`.  Registered cursors tell
+    :meth:`StorageManagerContract.compact_call_history` how much of the
+    history prefix every consumer has seen, so long runs keep O(epoch)
+    history in memory instead of O(run).  The contract only holds a *weak*
+    reference to each cursor — an abandoned consumer stops pinning
+    compaction once collected — and :meth:`close` deregisters eagerly.
+
+    Positions are *absolute* call indices (they keep counting across
+    compactions), so interleaving markers recorded against them stay valid.
+    """
+
+    __slots__ = ("manager", "position", "__weakref__")
+
+    def __init__(self, manager: "StorageManagerContract") -> None:
+        self.manager = manager
+        self.position = manager.history_base
+
+    def drain(self) -> List[Tuple[int, GGetCall]]:
+        """Return ``(absolute_position, call)`` for every call past the cursor.
+
+        Everything returned counts as consumed — the cursor advances to the
+        history end before returning, and consumed entries become eligible
+        for compaction.  The batch is materialised (not lazily yielded) so a
+        later compaction can never shift entries out from under a caller
+        still holding the result.
+        """
+        manager = self.manager
+        history = manager.call_history
+        base = manager.history_base
+        start = self.position - base
+        end = len(history)
+        self.position = base + end
+        return [
+            (base + offset, history[offset]) for offset in range(max(0, start), end)
+        ]
+
+    def close(self) -> None:
+        """Deregister the cursor so it no longer pins history compaction."""
+        self.manager._drop_history_cursor(self)
 
 
 #: Marker stored in a replica slot when the replica is evicted.  The paper's
@@ -152,9 +200,20 @@ class StorageManagerContract(Contract):
         self.reuse_replica_slots = reuse_replica_slots
         self.free_replica_slots = 0
         self.call_history: List[GGetCall] = []
+        #: Absolute index of ``call_history[0]`` (> 0 once compaction ran).
+        self.history_base = 0
+        #: Weak references to registered cursors: a consumer that goes away
+        #: without :meth:`CallHistoryCursor.close` must not pin compaction
+        #: forever.
+        self._history_cursors: List["weakref.ReferenceType[CallHistoryCursor]"] = []
         self.requests_emitted = 0
         self.delivered_records = 0
         self.current_epoch_hint = 0
+        #: Incrementally maintained count of live (non-invalidated) replicas;
+        #: ``None`` marks it dirty (a revert touched storage behind our back)
+        #: and the next :meth:`replica_count` rescans.
+        self._replica_count: Optional[int] = 0
+        self.storage.on_rollback = self._mark_replica_count_dirty
 
     # -- read path ----------------------------------------------------------
 
@@ -174,14 +233,13 @@ class StorageManagerContract(Contract):
         self.call_history.append(
             GGetCall(key=key, hit_replica=hit, epoch_hint=self.current_epoch_hint, consumer=consumer)
         )
-        self._maybe_track_trace(ctx, key, is_write=False)
+        if self.track_trace_on_chain != "off":
+            self._maybe_track_trace(ctx, key, is_write=False)
         if hit:
-            self._invoke_callback(
-                ctx,
-                CallbackRef.make(consumer, callback, **(callback_context or {})),
-                key,
-                value,
-            )
+            # Replica-hit fast path: invoke the callback directly, without
+            # materialising a CallbackRef (one is allocated per read
+            # otherwise, and replica hits dominate hot workloads).
+            self._run_callback(ctx, consumer, callback, callback_context, key, value)
             return value
         self.requests_emitted += 1
         self.emit(
@@ -218,7 +276,8 @@ class StorageManagerContract(Contract):
                     consumer=consumer,
                 )
             )
-            self._maybe_track_trace(ctx, key, is_write=False)
+            if self.track_trace_on_chain != "off":
+                self._maybe_track_trace(ctx, key, is_write=False)
             results[key] = value
             if not hit:
                 missing.append(key)
@@ -234,7 +293,7 @@ class StorageManagerContract(Contract):
             )
         for key, value in results.items():
             if value is not None:
-                self._invoke_callback(ctx, CallbackRef.make(consumer, callback), key, value)
+                self._run_callback(ctx, consumer, callback, None, key, value)
         return results
 
     def deliver(self, ctx: ExecutionContext, items: List[DeliverItem]) -> int:
@@ -289,7 +348,10 @@ class StorageManagerContract(Contract):
                 if entry.is_transition and self.storage.contains(ctx.meter, self._replica_slot(entry.key)):
                     # Invalidate (do not delete) so a later re-replication of
                     # the same key is a storage update rather than an insert.
-                    self.storage.store(ctx.meter, self._replica_slot(entry.key), INVALID_REPLICA)
+                    slot = self._replica_slot(entry.key)
+                    if self._replica_count is not None and self.storage.peek(slot) != INVALID_REPLICA:
+                        self._replica_count -= 1
+                    self.storage.store(ctx.meter, slot, INVALID_REPLICA)
                     self.free_replica_slots += 1
             applied += 1
         return applied
@@ -297,15 +359,18 @@ class StorageManagerContract(Contract):
     def _store_replica(self, ctx: ExecutionContext, key: str, value: bytes) -> None:
         """Write a replica, recycling a freed slot when the pool allows it."""
         slot = self._replica_slot(key)
+        prior = self.storage.peek(slot)
         if (
             self.reuse_replica_slots
             and self.free_replica_slots > 0
-            and not self.storage.has(slot)
+            and prior is None
         ):
             self.free_replica_slots -= 1
             self.storage.store_reusing(ctx.meter, slot, value)
         else:
             self.storage.store(ctx.meter, slot, value)
+        if self._replica_count is not None and (prior is None or prior == INVALID_REPLICA):
+            self._replica_count += 1
 
     # -- views (no global gas; used by off-chain components via their full node) --
 
@@ -321,15 +386,88 @@ class StorageManagerContract(Contract):
         return self.storage.peek(self.ROOT_SLOT)
 
     def replica_count(self) -> int:
-        return sum(
-            1
-            for slot, value in self.storage.slots.items()
-            if slot.startswith("replica:") and value != INVALID_REPLICA
-        )
+        """Number of live on-chain replicas, maintained incrementally.
+
+        The count is updated by every replica store/invalidate, so sampling
+        it per telemetry epoch is O(1) instead of an O(slots) scan; a revert
+        (which rolls storage back behind the contract object) marks it dirty
+        and the next call rescans.
+        """
+        if self._replica_count is None:
+            self._replica_count = sum(
+                1
+                for slot, value in self.storage.slots.items()
+                if slot.startswith("replica:") and value != INVALID_REPLICA
+            )
+        return self._replica_count
+
+    def _mark_replica_count_dirty(self) -> None:
+        self._replica_count = None
+
+    @property
+    def history_end(self) -> int:
+        """Absolute index one past the latest recorded gGet call."""
+        return self.history_base + len(self.call_history)
+
+    def open_history_cursor(self) -> CallHistoryCursor:
+        """Register a consumer of the call history (e.g. a workload monitor).
+
+        Compaction only drops history every *live* registered cursor has
+        consumed, so consumers must drain their cursor each epoch (and call
+        :meth:`CallHistoryCursor.close` when done; merely dropping the last
+        reference also works).  The caller must keep a reference to the
+        returned cursor — registration is weak.
+        """
+        cursor = CallHistoryCursor(self)
+        self._history_cursors.append(weakref.ref(cursor))
+        return cursor
+
+    def _live_history_cursors(self) -> List[CallHistoryCursor]:
+        """Live registered cursors; prunes references to collected ones."""
+        live: List[CallHistoryCursor] = []
+        live_refs = []
+        for ref in self._history_cursors:
+            cursor = ref()
+            if cursor is not None:
+                live.append(cursor)
+                live_refs.append(ref)
+        if len(live_refs) != len(self._history_cursors):
+            self._history_cursors = live_refs
+        return live
+
+    def _drop_history_cursor(self, cursor: CallHistoryCursor) -> None:
+        self._history_cursors = [
+            ref for ref in self._history_cursors
+            if ref() is not None and ref() is not cursor
+        ]
 
     def calls_since(self, index: int) -> List[GGetCall]:
-        """Call-history suffix, what the DO's monitor fetches each epoch."""
-        return self.call_history[index:]
+        """Call-history suffix from absolute index ``index`` (a copy).
+
+        Retained for tests and one-shot inspection; steady-state consumers
+        should hold a :class:`CallHistoryCursor` instead, which iterates in
+        place and enables compaction.
+        """
+        return self.call_history[max(0, index - self.history_base):]
+
+    def compact_call_history(self) -> int:
+        """Drop the history prefix every registered cursor has consumed.
+
+        Returns the number of entries dropped.  Without this, ``gGet``
+        bookkeeping grows O(run); with per-epoch compaction a long fleet run
+        keeps only the current epoch's tail in memory.  No-op when no cursor
+        is registered (nothing is known to have been consumed).
+        """
+        cursors = self._live_history_cursors()
+        if not cursors:
+            return 0
+        consumed = min(cursor.position for cursor in cursors)
+        drop = consumed - self.history_base
+        if drop <= 0:
+            return 0
+        del self.call_history[:drop]
+        self.history_base = consumed
+        return drop
 
     # -- internals ---------------------------------------------------------------
 
@@ -344,17 +482,33 @@ class StorageManagerContract(Contract):
     def _invoke_callback(
         self, ctx: ExecutionContext, callback: CallbackRef, key: str, value: bytes
     ) -> None:
-        if self.chain is None or callback.consumer not in self.chain.contracts:
+        self._run_callback(
+            ctx, callback.consumer, callback.function, callback.context_dict(), key, value
+        )
+
+    def _run_callback(
+        self,
+        ctx: ExecutionContext,
+        consumer: str,
+        function: str,
+        context: Optional[Dict[str, Any]],
+        key: str,
+        value: bytes,
+    ) -> None:
+        chain = self.chain
+        if chain is None:
             return
-        consumer = self.chain.get_contract(callback.consumer)
+        contract = chain.contracts.get(consumer)
+        if contract is None:
+            return
         self.call_contract(
             ctx,
-            consumer,
-            callback.function,
+            contract,
+            function,
             layer=LAYER_APPLICATION,
             key=key,
             value=value,
-            **callback.context_dict(),
+            **(context or {}),
         )
 
     def _maybe_track_trace(self, ctx: ExecutionContext, key: str, is_write: bool) -> None:

@@ -15,12 +15,16 @@ storage-manager contract).  This package turns that into a hosted service:
 * :mod:`repro.gateway.watchdog` — one :class:`SharedWatchdog` tailing the
   shared event log once per cycle and routing request events to the feed they
   belong to;
-* :mod:`repro.gateway.scheduler` — the :class:`EpochScheduler` that shards
-  feeds into groups and coalesces end-of-epoch work into one batched deliver
-  and one grouped update per shard;
-* :mod:`repro.gateway.cache` — the consumer-side :class:`ReadCache` with
-  write-invalidation keyed on each record's replication state, so repeated
-  reads of replicated records short-circuit;
+* :mod:`repro.gateway.scheduler` — the :class:`EpochScheduler`, a parallel
+  epoch engine: each shard's off-chain work (operation driving, proof
+  generation, epoch-update preparation) runs concurrently on a
+  ``num_workers`` thread pool, settlement lands in a deterministic merge
+  phase (fixed shard order), and one batched deliver plus one grouped update
+  settles per shard — a parallel run is bit-identical to a serial one;
+* :mod:`repro.gateway.cache` — the consumer-side :class:`ReadCache`,
+  sharded per feed, with write-invalidation keyed on each record's
+  replication state and immediate warm-up from verified deliver payloads,
+  so repeated reads of replicated records short-circuit;
 * :mod:`repro.gateway.metrics` — per-feed and fleet-wide telemetry (gas,
   wall-clock throughput, cache hit rate, replication churn).
 
@@ -33,7 +37,7 @@ Quickstart::
     registry = FeedRegistry()
     for i in range(8):
         registry.create_feed(FeedSpec(feed_id=f"feed-{i:02d}", config=GrubConfig(epoch_size=16)))
-    scheduler = EpochScheduler(registry, num_shards=2)
+    scheduler = EpochScheduler(registry, num_shards=2, num_workers=4)
     fleet = scheduler.run({
         f"feed-{i:02d}": SyntheticWorkload(read_write_ratio=4, num_operations=128, seed=i).operations()
         for i in range(8)

@@ -4,8 +4,9 @@ The gateway fronts every consumer read.  Once a record is replicated on chain
 its value is public, verified state; the gateway's full node can therefore
 memoise it and serve repeated reads without re-executing the ``gGet`` internal
 call (no ``sload``, no callback gas).  The cache is only ever populated from
-reads that *hit an on-chain replica* — never from the untrusted SP — so a
-cache hit returns exactly what the chain would have returned.
+verified replicated state — a read that hit an on-chain replica, or a deliver
+payload the chain just verified and replicated — never from the untrusted SP
+directly, so a cache hit returns exactly what the chain would have returned.
 
 Invalidation is keyed on the feed's replication state machine:
 
@@ -15,20 +16,27 @@ Invalidation is keyed on the feed's replication state machine:
   so reads must pay the request/deliver path again,
 * removing a feed drops all of its entries.
 
-Entries are bounded by an optional LRU capacity so a gateway hosting many
-large feeds keeps a predictable memory footprint.
+The cache is internally sharded per feed: every feed owns a private LRU map
+and private hit/miss counters, and the optional ``capacity`` bounds each
+feed's shard.  Sharding is what lets the parallel epoch engine drive feeds
+concurrently — a feed's cache state depends only on that feed's own access
+sequence, never on how accesses of *other* feeds interleave with it — so a
+parallel fleet run touches each shard from exactly one worker and produces
+bit-identical cache behaviour to a serial run.  (It is also the multi-tenant
+fairness property: one noisy feed can no longer evict every other tenant's
+entries.)
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation counters of one cache instance."""
+    """Hit/miss/invalidation counters (per feed shard, or aggregated)."""
 
     hits: int = 0
     misses: int = 0
@@ -45,54 +53,129 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one (the single folding site —
+        a counter added to the class only needs updating here)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.invalidations += other.invalidations
+        self.evictions += other.evictions
+
+
+class _FeedShard:
+    """One feed's private LRU map and counters."""
+
+    __slots__ = ("entries", "stats")
+
+    def __init__(self) -> None:
+        self.entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.stats = CacheStats()
+
 
 class ReadCache:
-    """LRU cache of verified replicated records, keyed by (feed id, key)."""
+    """Per-feed-sharded LRU cache of verified replicated records."""
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("cache capacity must be positive when given")
+        #: Maximum entries held *per feed shard* (``None`` = unbounded).
         self.capacity = capacity
-        self._entries: "OrderedDict[Tuple[str, str], bytes]" = OrderedDict()
-        self.stats = CacheStats()
+        self._shards: Dict[str, _FeedShard] = {}
+        #: Counters folded in from shards that have been retired (feed
+        #: removed, cache cleared), so aggregate statistics survive tenant
+        #: churn while a reused feed id starts from zero.
+        self._retired = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards.values())
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters: every live feed shard plus retired shards."""
+        total = CacheStats()
+        total.merge(self._retired)
+        for shard in self._shards.values():
+            total.merge(shard.stats)
+        return total
+
+    def _retire(self, shard: _FeedShard) -> None:
+        self._retired.merge(shard.stats)
+
+    def shard_stats(self, feed_id: str) -> CacheStats:
+        """One feed's private counters (zeros if the feed never touched it)."""
+        shard = self._shards.get(feed_id)
+        return shard.stats if shard is not None else CacheStats()
+
+    def ensure_shard(self, feed_id: str) -> None:
+        """Pre-create a feed's shard.
+
+        The parallel scheduler calls this for every fleet feed before fanning
+        out, so worker threads never mutate the shard *directory* — each only
+        touches the interior of shards it exclusively owns.
+        """
+        if feed_id not in self._shards:
+            self._shards[feed_id] = _FeedShard()
+
+    def _shard(self, feed_id: str) -> _FeedShard:
+        shard = self._shards.get(feed_id)
+        if shard is None:
+            shard = self._shards[feed_id] = _FeedShard()
+        return shard
 
     def get(self, feed_id: str, key: str) -> Optional[bytes]:
         """Return the cached value, counting a hit or a miss."""
-        entry = self._entries.get((feed_id, key))
-        if entry is None:
-            self.stats.misses += 1
+        shard = self._shards.get(feed_id)
+        if shard is None:
+            # A probe of a feed that never cached anything must not allocate
+            # a shard; the miss still counts toward the aggregate.
+            self._retired.misses += 1
             return None
-        self._entries.move_to_end((feed_id, key))
-        self.stats.hits += 1
+        entry = shard.entries.get(key)
+        if entry is None:
+            shard.stats.misses += 1
+            return None
+        shard.entries.move_to_end(key)
+        shard.stats.hits += 1
         return entry
 
     def put(self, feed_id: str, key: str, value: bytes) -> None:
-        """Memoise a value read from an on-chain replica."""
-        cache_key = (feed_id, key)
-        self._entries[cache_key] = value
-        self._entries.move_to_end(cache_key)
+        """Memoise a value backed by a verified on-chain replica."""
+        shard = self._shard(feed_id)
+        shard.entries[key] = value
+        shard.entries.move_to_end(key)
         if self.capacity is not None:
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            while len(shard.entries) > self.capacity:
+                shard.entries.popitem(last=False)
+                shard.stats.evictions += 1
 
     def invalidate(self, feed_id: str, key: str) -> bool:
         """Drop one entry (a write or an R→NR transition touched the key)."""
-        removed = self._entries.pop((feed_id, key), None) is not None
+        shard = self._shards.get(feed_id)
+        if shard is None:
+            return False
+        removed = shard.entries.pop(key, None) is not None
         if removed:
-            self.stats.invalidations += 1
+            shard.stats.invalidations += 1
         return removed
 
     def invalidate_feed(self, feed_id: str) -> int:
-        """Drop every entry of one feed (feed removed or root rolled over)."""
-        stale = [entry for entry in self._entries if entry[0] == feed_id]
-        for entry in stale:
-            del self._entries[entry]
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        """Drop one feed's whole shard (the feed was removed).
+
+        The shard is deregistered — a long-lived gateway with tenant churn
+        must not accumulate ghost shards, and a later tenant reusing the feed
+        id starts with fresh counters — while its statistics (plus one
+        invalidation per dropped entry) fold into the cache-wide aggregate.
+        """
+        shard = self._shards.pop(feed_id, None)
+        if shard is None:
+            return 0
+        stale = len(shard.entries)
+        shard.stats.invalidations += stale
+        self._retire(shard)
+        return stale
 
     def clear(self) -> None:
-        self._entries.clear()
+        """Drop every entry and shard; aggregate statistics are preserved."""
+        for shard in self._shards.values():
+            self._retire(shard)
+        self._shards.clear()

@@ -14,8 +14,8 @@ benchmarks' formatting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.reporting import format_gas, format_rate, format_table
 from repro.common.types import EpochSummary
@@ -69,6 +69,29 @@ class FeedTelemetry:
     def epoch_series(self) -> List[float]:
         """Per-epoch feed gas per operation (same series as RunReport)."""
         return [epoch.gas_per_operation for epoch in self.epochs]
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Every deterministic field as plain data (epoch summaries included).
+
+        Two runs of the same fleet configuration must produce equal
+        fingerprints regardless of ``num_workers`` — this is the object the
+        parallel-vs-serial equivalence tests and the CI perf-smoke compare.
+        """
+        return {
+            "feed_id": self.feed_id,
+            "operations": self.operations,
+            "reads": self.reads,
+            "writes": self.writes,
+            "gas_feed": self.gas_feed,
+            "gas_application": self.gas_application,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "replications": self.replications,
+            "evictions": self.evictions,
+            "deliver_groups": self.deliver_groups,
+            "update_groups": self.update_groups,
+            "epochs": [asdict(epoch) for epoch in self.epochs],
+        }
 
 
 @dataclass
@@ -143,6 +166,24 @@ class FleetTelemetry:
         if self.epochs_run == 0:
             return 0.0
         return (self.replications + self.evictions) / self.epochs_run
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """Deterministic fleet state as plain data (wall-clock excluded).
+
+        ``wall_seconds`` — the only nondeterministic field — is deliberately
+        left out, so fingerprint equality is exactly the "bit-identical
+        telemetry" guarantee of the parallel epoch engine.
+        """
+        return {
+            "epochs_run": self.epochs_run,
+            "deliver_batches": self.deliver_batches,
+            "update_batches": self.update_batches,
+            "blocks_mined": self.blocks_mined,
+            "feeds": {
+                feed_id: telemetry.fingerprint()
+                for feed_id, telemetry in sorted(self.feeds.items())
+            },
+        }
 
     # -- reporting -----------------------------------------------------------
 

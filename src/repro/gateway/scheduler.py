@@ -1,4 +1,5 @@
-"""The epoch scheduler: drive a fleet of feeds in lockstep, settle in batches.
+"""The parallel epoch engine: drive a fleet of feeds concurrently, settle
+deterministically.
 
 Single-feed GRuB already amortises transaction base cost across the requests
 of one epoch.  The scheduler applies the same idea across *tenants*: feeds are
@@ -14,27 +15,51 @@ both landed through the :class:`~repro.gateway.router.GatewayRouterContract`,
 so a shard of S feeds pays one 21k transaction base where S isolated
 deployments pay up to 2·S per epoch.
 
+**Parallel execution.** Feeds are independent between settlement points, so
+within an epoch the off-chain work of every shard — driving its feeds'
+operations, generating the SP's deliver proofs, running each DO's
+``prepare_epoch_update`` — executes concurrently on a
+:class:`~concurrent.futures.ThreadPoolExecutor` with ``num_workers`` threads.
+Isolation is structural, not locked: a worker owns whole shards (so every
+per-feed object — contracts, SP store, control plane, cache shard, telemetry
+row — is touched by exactly one thread), and the two globally *ordered*
+chain structures (the gas ledger and the event log) are deferred into
+per-shard :class:`~repro.chain.chain.ExecutionBuffer`\\ s.  Settlement then
+lands in a **deterministic merge phase**: buffers are absorbed, transactions
+submitted, and accounting folded in fixed shard order, so a parallel run
+produces bit-identical telemetry, per-feed gas bills and chain state to a
+serial (``num_workers=1``) run — which executes the very same buffered code
+path.
+
 Reads are fronted by the consumer-side :class:`~repro.gateway.cache.ReadCache`
 when one is configured: a read of a key whose verified replica the gateway has
 already observed is served from the gateway's full node without re-executing
 the on-chain ``gGet`` (cached reads therefore do not appear in the on-chain
 read trace — exactly like a consumer that keeps its own memo of public chain
-state).  Writes and evictions invalidate the affected entry.
+state).  The cache is additionally warmed straight from verified deliver
+payloads: a record the chain just verified *and replicated* in a deliver batch
+is public replicated state, so it is memoised immediately instead of waiting
+for the first post-deliver read.  Writes and evictions invalidate the affected
+entry; keys written during the current epoch are never memoised until their
+epoch update lands.
 
 The scheduler never consults a wall clock for scheduling decisions and uses
-no randomness, so two runs over the same fleet and workloads are identical;
-``time.perf_counter`` is only sampled to report the runtime's own ops/sec.
+no randomness, so two runs over the same fleet and workloads are identical —
+whatever ``num_workers`` says; ``time.perf_counter`` is only sampled to report
+the runtime's own ops/sec.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Mapping, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.chain.chain import ExecutionBuffer
 from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
 from repro.chain.transaction import Transaction
 from repro.common.errors import ConfigurationError, ReproError
-from repro.common.types import Operation, OperationKind, ReplicationState
+from repro.common.types import EpochSummary, Operation, OperationKind, ReplicationState
 from repro.gateway.cache import ReadCache
 from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
 from repro.gateway.registry import FeedHandle, FeedRegistry
@@ -51,31 +76,40 @@ GATEWAY_OPERATOR = "gateway-operator"
 
 
 class EpochScheduler:
-    """Drives hosted feeds epoch-by-epoch with cross-feed batched settlement."""
+    """Drives hosted feeds epoch-by-epoch with parallel off-chain execution
+    and cross-feed batched settlement."""
 
     def __init__(
         self,
         registry: FeedRegistry,
         *,
         num_shards: int = 1,
+        num_workers: int = 1,
         epoch_size: Optional[int] = None,
         read_cache: Optional[ReadCache] = None,
         enable_cache: bool = True,
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
+        if num_workers <= 0:
+            raise ConfigurationError("num_workers must be positive")
         self.registry = registry
         self.num_shards = num_shards
+        #: Worker threads for the per-shard off-chain phases.  Results are
+        #: always folded in shard order, so this only affects wall-clock
+        #: speed, never any output.
+        self.num_workers = num_workers
         self._epoch_size = epoch_size
         self.cache = read_cache if read_cache is not None else (ReadCache() if enable_cache else None)
         if self.cache is not None and self.cache.invalidate_feed not in registry.removal_listeners:
-            # A leaving tenant's entries must not occupy LRU slots (or be
-            # served to a later tenant that reuses the feed id).
+            # A leaving tenant's entries must not linger (or be served to a
+            # later tenant that reuses the feed id).
             registry.removal_listeners.append(self.cache.invalidate_feed)
         #: Keys written this epoch, per feed: their on-chain replica is stale
         #: until the epoch update lands, so the cache must not re-memoise them
         #: mid-epoch (a later epoch would otherwise be served the old value).
         self._dirty: Dict[str, set] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
         self.epochs_run = 0
 
     # -- sharding -------------------------------------------------------------
@@ -93,6 +127,22 @@ class EpochScheduler:
             self.registry.get(feed_id).system.config.epoch_size for feed_id in feed_ids
         ]
         return max(sizes) if sizes else 32
+
+    # -- worker-pool plumbing -------------------------------------------------
+
+    def _map_shards(self, fn: Callable, shards: Sequence[List[str]], *args) -> List:
+        """Apply ``fn(shard, *args)`` to every shard, returning results in
+        shard order.
+
+        With one worker (or one shard) this is a plain loop on the calling
+        thread; otherwise shards run concurrently on the pool.  Either way the
+        caller receives results in the fixed shard order, which is what makes
+        the subsequent merge deterministic.
+        """
+        if self._pool is None or len(shards) <= 1:
+            return [fn(shard, *args) for shard in shards]
+        futures = [self._pool.submit(fn, shard, *args) for shard in shards]
+        return [future.result() for future in futures]
 
     # -- the fleet run --------------------------------------------------------
 
@@ -125,14 +175,32 @@ class EpochScheduler:
         ) if operations else 0
         shard_plan = self.shards(feed_ids)
 
+        # Pre-create every per-feed structure a worker will touch, so the
+        # parallel phases never mutate a shared directory — workers only
+        # operate on the interiors of structures their shard exclusively owns.
+        self._dirty = {feed_id: set() for feed_id in feed_ids}
+        if self.cache is not None:
+            for feed_id in feed_ids:
+                self.cache.ensure_shard(feed_id)
+
         fleet = FleetTelemetry(
             feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in feed_ids}
         )
         blocks_before = self.registry.chain.height
         wall_start = time.perf_counter()
 
-        for epoch in range(total_epochs):
-            self._run_epoch(epoch, epoch_size, operations, shard_plan, fleet)
+        use_pool = self.num_workers > 1 and len(shard_plan) > 1
+        pool = ThreadPoolExecutor(
+            max_workers=self.num_workers, thread_name_prefix="epoch-worker"
+        ) if use_pool else None
+        self._pool = pool
+        try:
+            for epoch in range(total_epochs):
+                self._run_epoch(epoch, epoch_size, operations, shard_plan, fleet)
+        finally:
+            self._pool = None
+            if pool is not None:
+                pool.shutdown(wait=True)
 
         fleet.wall_seconds = time.perf_counter() - wall_start
         fleet.epochs_run = total_epochs
@@ -158,39 +226,31 @@ class EpochScheduler:
             )
             for feed_id in operations
         }
-        summaries = {}
 
-        # Phase 1 — drive every feed's slice of the epoch (reads execute on
-        # chain or hit the gateway cache; writes buffer at the feed's DO).
-        for feed_id, ops in operations.items():
-            handle = self.registry.get(feed_id)
-            telemetry = fleet.feeds[feed_id]
-            epoch_ops = ops[epoch * epoch_size : (epoch + 1) * epoch_size]
-            summary = handle.system.begin_epoch(epoch, len(epoch_ops))
-            summaries[feed_id] = summary
-            for operation in epoch_ops:
-                self._drive(handle, operation, summary, telemetry)
+        # Phase 1 — every shard drives its feeds' slice of the epoch
+        # concurrently (reads execute against per-feed contract state or hit
+        # the feed's cache shard; writes buffer at the feed's DO).  Gas
+        # charges and emitted events land in per-shard buffers, merged below
+        # in shard order.
+        drive_results = self._map_shards(
+            self._drive_shard, shard_plan, epoch, epoch_size, operations, fleet
+        )
+        summaries: Dict[str, EpochSummary] = {}
+        for buffer, shard_summaries in drive_results:
+            self.registry.chain.absorb(buffer)
+            summaries.update(shard_summaries)
 
-        # Phase 2 — the shared watchdog scans the log once for the whole
-        # fleet, then each shard's requests are answered in one batched
-        # deliver transaction.
+        # Phase 2 — the shared watchdog scans the merged log once for the
+        # whole fleet; each shard then builds its deliver groups (record
+        # lookups + batched Merkle proof generation) concurrently, and the
+        # groups settle in one batched deliver transaction per shard, in
+        # shard order.
         self.registry.watchdog.poll()
         deliveries: Dict[str, int] = {feed_id: 0 for feed_id in operations}
+        shard_deliver_groups = self._map_shards(self._build_deliver_groups, shard_plan)
         batch_txs: List[Transaction] = []
-        for shard in shard_plan:
-            groups: List[DeliverGroup] = []
-            for feed_id in shard:
-                handle = self.registry.get(feed_id)
-                items = handle.service_provider.drain_pending_items()
-                if not items:
-                    continue
-                groups.append(
-                    DeliverGroup(
-                        feed_id=feed_id,
-                        manager=handle.storage_manager.address,
-                        items=items,
-                    )
-                )
+        delivered_groups: List[DeliverGroup] = []
+        for groups in shard_deliver_groups:
             if not groups:
                 continue
             batch_txs.append(
@@ -210,35 +270,24 @@ class EpochScheduler:
             for group in groups:
                 deliveries[group.feed_id] += 1
                 fleet.feeds[group.feed_id].deliver_groups += 1
+                delivered_groups.append(group)
         if batch_txs:
             self.registry.chain.mine_block()
+        self._check_settlement(batch_txs)
+        self._warm_cache_from_deliveries(delivered_groups)
 
-        # Phase 3 — every feed prepares its epoch update (control plane + ADS
-        # + root signing); each shard's payloads land in one grouped update.
+        # Phase 3 — every shard prepares its feeds' epoch updates (control
+        # plane + ADS + root signing) concurrently; each shard's payloads
+        # land in one grouped update transaction, in shard order.
         transitions: Dict[str, Dict[str, ReplicationState]] = {}
         updates: Dict[str, int] = {feed_id: 0 for feed_id in operations}
-        submitted_update = False
-        for shard in shard_plan:
-            groups_u: List[UpdateGroup] = []
-            for feed_id in shard:
-                handle = self.registry.get(feed_id)
-                prepared = handle.data_owner.prepare_epoch_update()
-                transitions[feed_id] = prepared.transitions
-                if not prepared.has_payload:
-                    continue
-                assert prepared.signed_root is not None
-                handle.data_owner.note_epoch_submitted()
-                groups_u.append(
-                    UpdateGroup(
-                        feed_id=feed_id,
-                        manager=handle.storage_manager.address,
-                        entries=prepared.entries,
-                        digest=prepared.signed_root.root,
-                    )
-                )
+        shard_update_results = self._map_shards(self._prepare_update_groups, shard_plan)
+        update_txs: List[Transaction] = []
+        for groups_u, shard_transitions in shard_update_results:
+            transitions.update(shard_transitions)
             if not groups_u:
                 continue
-            batch_txs.append(
+            update_txs.append(
                 self.registry.chain.submit(
                     Transaction(
                         sender=GATEWAY_OPERATOR,
@@ -251,14 +300,13 @@ class EpochScheduler:
                     )
                 )
             )
-            submitted_update = True
             fleet.update_batches += 1
             for group in groups_u:
                 updates[group.feed_id] += 1
                 fleet.feeds[group.feed_id].update_groups += 1
-        if submitted_update:
+        if update_txs:
             self.registry.chain.mine_block()
-        self._check_settlement(batch_txs)
+        self._check_settlement(update_txs)
 
         # Phase 4 — settle per-feed accounting for the epoch and apply
         # replication-keyed cache invalidation (an evicted replica must not be
@@ -274,7 +322,7 @@ class EpochScheduler:
                         self.cache.invalidate(feed_id, key)
                 # The epoch update has landed: written keys' replicas are
                 # fresh again and may be memoised from the next read on.
-                self._dirty.pop(feed_id, None)
+                self._dirty[feed_id].clear()
             feed_after = ledger.scope_total(feed_id, LAYER_FEED)
             app_after = ledger.scope_total(feed_id, LAYER_APPLICATION)
             handle.system.record_epoch(
@@ -294,6 +342,97 @@ class EpochScheduler:
             telemetry.gas_application += summary.gas_application
             telemetry.replications += summary.replications
             telemetry.evictions += summary.evictions
+
+    # -- per-shard work (runs on worker threads) ------------------------------
+
+    def _drive_shard(
+        self,
+        shard: List[str],
+        epoch: int,
+        epoch_size: int,
+        operations: Mapping[str, List[Operation]],
+        fleet: FleetTelemetry,
+    ) -> Tuple[ExecutionBuffer, Dict[str, EpochSummary]]:
+        """Phase-1 worker: drive every feed of one shard through its epoch
+        slice, buffering chain side effects for the ordered merge."""
+        chain = self.registry.chain
+        shard_summaries: Dict[str, EpochSummary] = {}
+        with chain.isolated_execution() as buffer:
+            for feed_id in shard:
+                if feed_id not in operations:
+                    continue
+                handle = self.registry.get(feed_id)
+                telemetry = fleet.feeds[feed_id]
+                ops = operations[feed_id]
+                epoch_ops = ops[epoch * epoch_size : (epoch + 1) * epoch_size]
+                summary = handle.system.begin_epoch(epoch, len(epoch_ops))
+                shard_summaries[feed_id] = summary
+                for operation in epoch_ops:
+                    self._drive(handle, operation, summary, telemetry)
+        return buffer, shard_summaries
+
+    def _build_deliver_groups(self, shard: List[str]) -> List[DeliverGroup]:
+        """Phase-2 worker: drain one shard's pending requests into deliver
+        groups (record lookups plus batched proof generation, no chain I/O)."""
+        groups: List[DeliverGroup] = []
+        for feed_id in shard:
+            handle = self.registry.get(feed_id)
+            items = handle.service_provider.drain_pending_items()
+            if not items:
+                continue
+            groups.append(
+                DeliverGroup(
+                    feed_id=feed_id,
+                    manager=handle.storage_manager.address,
+                    items=items,
+                )
+            )
+        return groups
+
+    def _prepare_update_groups(
+        self, shard: List[str]
+    ) -> Tuple[List[UpdateGroup], Dict[str, Dict[str, ReplicationState]]]:
+        """Phase-3 worker: run one shard's control planes and ADS updates,
+        returning the prepared update groups plus per-feed transitions."""
+        groups: List[UpdateGroup] = []
+        shard_transitions: Dict[str, Dict[str, ReplicationState]] = {}
+        for feed_id in shard:
+            handle = self.registry.get(feed_id)
+            prepared = handle.data_owner.prepare_epoch_update()
+            shard_transitions[feed_id] = prepared.transitions
+            if not prepared.has_payload:
+                continue
+            assert prepared.signed_root is not None
+            handle.data_owner.note_epoch_submitted()
+            groups.append(
+                UpdateGroup(
+                    feed_id=feed_id,
+                    manager=handle.storage_manager.address,
+                    entries=prepared.entries,
+                    digest=prepared.signed_root.root,
+                )
+            )
+        return groups, shard_transitions
+
+    # -- settlement helpers (main thread only) --------------------------------
+
+    def _warm_cache_from_deliveries(self, groups: List[DeliverGroup]) -> None:
+        """Memoise records the deliver batches just verified *and* replicated.
+
+        Once the chain has verified a delivered record's proof and stored it
+        as a replica, its value is public replicated state — exactly what the
+        cache serves — so it is memoised immediately instead of waiting for
+        the first post-deliver read to do it.  Keys written during the current
+        epoch are skipped (their replica is about to be superseded by the
+        pending epoch update), preserving the dirty-key invalidation rules.
+        """
+        if self.cache is None:
+            return
+        for group in groups:
+            dirty = self._dirty.get(group.feed_id, ())
+            for item in group.items:
+                if item.replicate and item.key not in dirty:
+                    self.cache.put(group.feed_id, item.key, item.value)
 
     def _check_settlement(self, batch_txs: List[Transaction]) -> None:
         """Fail loudly if any settlement batch reverted.
@@ -318,15 +457,13 @@ class EpochScheduler:
         self,
         handle: FeedHandle,
         operation: Operation,
-        summary,
+        summary: EpochSummary,
         telemetry: FeedTelemetry,
     ) -> None:
         """Route one operation: cache front for point reads, system otherwise."""
-        if (
-            self.cache is not None
-            and operation.kind is OperationKind.READ
-        ):
-            cached = self.cache.get(handle.feed_id, operation.key)
+        cache = self.cache
+        if cache is not None and operation.kind is OperationKind.READ:
+            cached = cache.get(handle.feed_id, operation.key)
             if cached is not None:
                 # Served from the gateway's memo of verified chain state: no
                 # on-chain call, no gas, and no entry in the on-chain trace.
@@ -338,13 +475,13 @@ class EpochScheduler:
             telemetry.cache_misses += 1
             handle.system.drive_operation(operation, summary, handle.report)
             replica = handle.storage_manager.replica_of(operation.key)
-            if replica is not None and operation.key not in self._dirty.get(handle.feed_id, ()):
+            if replica is not None and operation.key not in self._dirty[handle.feed_id]:
                 # The read was served by a verified on-chain replica and no
                 # buffered write is about to supersede it; memoise it for
                 # subsequent reads of the same key.
-                self.cache.put(handle.feed_id, operation.key, replica)
+                cache.put(handle.feed_id, operation.key, replica)
             return
-        if operation.is_write and self.cache is not None:
-            self.cache.invalidate(handle.feed_id, operation.key)
-            self._dirty.setdefault(handle.feed_id, set()).add(operation.key)
+        if operation.is_write and cache is not None:
+            cache.invalidate(handle.feed_id, operation.key)
+            self._dirty[handle.feed_id].add(operation.key)
         handle.system.drive_operation(operation, summary, handle.report)

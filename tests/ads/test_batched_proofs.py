@@ -1,0 +1,101 @@
+"""Batched proof generation must be indistinguishable from per-leaf proving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.authenticated_kv import AuthenticatedKVStore
+from repro.ads.merkle import MerkleTree, verify_membership
+from repro.common.hashing import keccak
+from repro.common.types import KVRecord, ReplicationState
+
+
+def make_tree(num_leaves: int) -> MerkleTree:
+    return MerkleTree([keccak(bytes([i])) for i in range(num_leaves)])
+
+
+class TestProveMany:
+    @pytest.mark.parametrize("num_leaves", [1, 2, 5, 8, 33])
+    def test_matches_individual_proofs(self, num_leaves):
+        tree = make_tree(num_leaves)
+        indices = list(range(num_leaves))
+        batched = tree.prove_many(indices)
+        for index in indices:
+            assert batched[index] == tree.prove(index)
+
+    def test_shared_siblings_are_one_object(self):
+        tree = make_tree(8)
+        proofs = tree.prove_many([0, 1])
+        # Leaves 0 and 1 share every path node above the leaf level.
+        assert proofs[0].path[1] is proofs[1].path[1]
+        assert proofs[0].path[2] is proofs[1].path[2]
+
+    def test_batched_proofs_verify(self):
+        tree = make_tree(16)
+        proofs = tree.prove_many([3, 7, 11])
+        for index, proof in proofs.items():
+            assert verify_membership(tree.root, tree.leaf(index), proof)
+
+    def test_out_of_range_rejected(self):
+        tree = make_tree(4)
+        with pytest.raises(IndexError):
+            tree.prove_many([5])
+
+    def test_duplicate_indices_deduplicated(self):
+        tree = make_tree(4)
+        proofs = tree.prove_many([2, 2, 2])
+        assert set(proofs) == {2}
+
+
+class TestStagedLeafUpdates:
+    def test_recompute_paths_equals_sequential_updates(self):
+        staged = make_tree(16)
+        sequential = make_tree(16)
+        updates = {1: keccak(b"one"), 6: keccak(b"six"), 7: keccak(b"seven")}
+        for index, leaf in updates.items():
+            staged.stage_leaf(index, leaf)
+            sequential.update_leaf(index, leaf)
+        assert staged.recompute_paths(list(updates)) == sequential.root
+
+    def test_stage_then_append_stays_consistent(self):
+        staged = make_tree(4)
+        reference = make_tree(4)
+        staged.stage_leaf(1, keccak(b"x"))
+        reference.update_leaf(1, keccak(b"x"))
+        # An append mid-batch (even one that rebuilds) must not lose the
+        # staged leaf value.
+        staged.append_leaf(keccak(b"y"))
+        reference.append_leaf(keccak(b"y"))
+        assert staged.recompute_paths([1]) == reference.root
+
+
+class TestQueryMany:
+    def make_store(self, n=12) -> AuthenticatedKVStore:
+        store = AuthenticatedKVStore()
+        store.load([KVRecord.make(f"key-{i:02d}", bytes([i]) * 8) for i in range(n)])
+        return store
+
+    def test_matches_individual_queries(self):
+        store = self.make_store()
+        keys = ["key-01", "key-05", "key-09", "missing"]
+        batched = store.query_many(keys)
+        for key in keys:
+            single = store.query(key)
+            assert batched[key] == single
+
+    def test_apply_updates_equals_sequential(self):
+        batched_store = self.make_store()
+        sequential_store = self.make_store()
+        updates = [
+            ("key-02", b"v2", ReplicationState.REPLICATED),
+            ("key-07", b"v7", None),
+            ("brand-new", b"nv", None),
+            ("key-02", b"v2b", None),  # second write of the same key
+        ]
+        root = batched_store.apply_updates(updates)
+        for key, value, state in updates:
+            sequential_store.apply_update(key, value, state)
+        assert root == sequential_store.root
+        assert batched_store.replicated_keys() == sequential_store.replicated_keys()
+        for key in ("key-02", "key-07", "brand-new"):
+            assert batched_store.get_record(key) == sequential_store.get_record(key)

@@ -159,3 +159,37 @@ class TestReadCacheInScheduler:
         ]
         scheduler.run({"alpha": operations})
         assert cache.get("alpha", "k") is None
+
+
+class TestTenantChurn:
+    """Shard lifecycle under feed removal (PR 2: per-feed-sharded cache)."""
+
+    def test_removed_feed_shard_is_deregistered_but_stats_survive(self):
+        cache = ReadCache()
+        cache.put("alpha", "k", b"1")
+        assert cache.get("alpha", "k") == b"1"
+        hits_before = cache.stats.hits
+        dropped = cache.invalidate_feed("alpha")
+        assert dropped == 1
+        # The aggregate keeps the removed tenant's counters...
+        assert cache.stats.hits == hits_before
+        assert cache.stats.invalidations >= 1
+        # ...but a tenant reusing the feed id starts from zero.
+        assert cache.shard_stats("alpha").hits == 0
+        assert len(cache) == 0
+
+    def test_clear_preserves_aggregate_statistics(self):
+        cache = ReadCache()
+        cache.put("alpha", "k", b"1")
+        cache.get("alpha", "k")
+        cache.get("alpha", "other")
+        before = (cache.stats.hits, cache.stats.misses)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.stats.hits, cache.stats.misses) == before
+
+    def test_probe_of_unknown_feed_counts_miss_without_allocating(self):
+        cache = ReadCache()
+        assert cache.get("ghost", "k") is None
+        assert cache.stats.misses == 1
+        assert len(cache) == 0
