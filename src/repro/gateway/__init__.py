@@ -15,12 +15,20 @@ storage-manager contract).  This package turns that into a hosted service:
 * :mod:`repro.gateway.watchdog` — one :class:`SharedWatchdog` tailing the
   shared event log once per cycle and routing request events to the feed they
   belong to;
-* :mod:`repro.gateway.scheduler` — the :class:`EpochScheduler`, a parallel
-  epoch engine: each shard's off-chain work (operation driving, proof
-  generation, epoch-update preparation) runs concurrently on a
+* :mod:`repro.gateway.scheduler` — the :class:`EpochScheduler`, an elastic
+  parallel epoch engine: each shard's off-chain work (operation driving,
+  proof generation, epoch-update preparation) runs concurrently on a
   ``num_workers`` thread pool, settlement lands in a deterministic merge
-  phase (fixed shard order), and one batched deliver plus one grouped update
-  settles per shard — a parallel run is bit-identical to a serial one;
+  phase (fixed shard order), one batched deliver plus one grouped update
+  settles per shard in its own block — a parallel run is bit-identical to a
+  serial one — and tenants join (:meth:`EpochScheduler.admit`) and leave
+  (:meth:`EpochScheduler.evict`) at epoch boundaries, with per-tenant
+  ops/gas quotas deferring over-quota operations to later epochs;
+* :mod:`repro.gateway.planner` — shard planning strategies: the fixed
+  :class:`RoundRobinPlanner` and the :class:`GasAwareShardPlanner`, which
+  EWMA-estimates per-feed epoch gas from trailing telemetry and bin-packs
+  feeds so every settlement block stays under a configured fraction of the
+  chain's block gas limit;
 * :mod:`repro.gateway.cache` — the consumer-side :class:`ReadCache`,
   sharded per feed, with write-invalidation keyed on each record's
   replication state and immediate warm-up from verified deliver payloads,
@@ -47,21 +55,27 @@ Quickstart::
 
 from repro.gateway.cache import ReadCache
 from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
+from repro.gateway.planner import GasAwareShardPlanner, RoundRobinPlanner, ShardPlanner
 from repro.gateway.registry import FeedHandle, FeedRegistry, FeedSpec
 from repro.gateway.router import DeliverGroup, GatewayRouterContract, UpdateGroup
-from repro.gateway.scheduler import EpochScheduler
+from repro.gateway.scheduler import Admission, EpochScheduler, Eviction
 from repro.gateway.watchdog import SharedWatchdog
 
 __all__ = [
+    "Admission",
     "DeliverGroup",
     "EpochScheduler",
+    "Eviction",
     "FeedHandle",
     "FeedRegistry",
     "FeedSpec",
     "FeedTelemetry",
     "FleetTelemetry",
+    "GasAwareShardPlanner",
     "GatewayRouterContract",
     "ReadCache",
+    "RoundRobinPlanner",
+    "ShardPlanner",
     "SharedWatchdog",
     "UpdateGroup",
 ]

@@ -37,7 +37,23 @@ class FeedTelemetry:
     evictions: int = 0
     deliver_groups: int = 0
     update_groups: int = 0
+    #: Epoch at which the tenant joined the run (0 = present from the start).
+    admitted_epoch: int = 0
+    #: Epoch boundary at which the tenant left, or ``None`` while hosted.  A
+    #: departed feed's telemetry row is retained — this is its final bill.
+    departed_epoch: Optional[int] = None
+    #: Operations pushed to a later epoch by the tenant's ops/gas quotas
+    #: (counted once per deferral, so an op deferred twice counts twice).
+    deferred_ops: int = 0
+    #: Workload operations dropped because the tenant departed before they ran.
+    cancelled_ops: int = 0
+    #: Pending deliver requests cancelled when the tenant departed.
+    cancelled_requests: int = 0
     epochs: List[EpochSummary] = field(default_factory=list)
+
+    @property
+    def departed(self) -> bool:
+        return self.departed_epoch is not None
 
     @property
     def gas_total(self) -> int:
@@ -90,6 +106,11 @@ class FeedTelemetry:
             "evictions": self.evictions,
             "deliver_groups": self.deliver_groups,
             "update_groups": self.update_groups,
+            "admitted_epoch": self.admitted_epoch,
+            "departed_epoch": self.departed_epoch,
+            "deferred_ops": self.deferred_ops,
+            "cancelled_ops": self.cancelled_ops,
+            "cancelled_requests": self.cancelled_requests,
             "epochs": [asdict(epoch) for epoch in self.epochs],
         }
 
@@ -104,6 +125,16 @@ class FleetTelemetry:
     deliver_batches: int = 0
     update_batches: int = 0
     blocks_mined: int = 0
+    #: Mid-run tenant arrivals and departures applied by the fleet controller.
+    admissions: int = 0
+    departures: int = 0
+    #: One ``(epoch, sorted feed ids)`` entry per *executed* epoch (idle
+    #: spans the scheduler fast-forwards over are not recorded — their
+    #: membership cannot change).  The churn invariants ("an evicted feed
+    #: never appears in a later epoch") are checked against this record.
+    rosters: List[tuple] = field(default_factory=list)
+    #: How many shards the planner produced, parallel to ``rosters``.
+    shards_per_epoch: List[int] = field(default_factory=list)
 
     def feed(self, feed_id: str) -> FeedTelemetry:
         return self.feeds[feed_id]
@@ -154,6 +185,18 @@ class FleetTelemetry:
         return self.cache_hits / self.cache_lookups
 
     @property
+    def deferred_ops(self) -> int:
+        return sum(feed.deferred_ops for feed in self.feeds.values())
+
+    @property
+    def cancelled_ops(self) -> int:
+        return sum(feed.cancelled_ops for feed in self.feeds.values())
+
+    @property
+    def cancelled_requests(self) -> int:
+        return sum(feed.cancelled_requests for feed in self.feeds.values())
+
+    @property
     def replications(self) -> int:
         return sum(feed.replications for feed in self.feeds.values())
 
@@ -179,6 +222,10 @@ class FleetTelemetry:
             "deliver_batches": self.deliver_batches,
             "update_batches": self.update_batches,
             "blocks_mined": self.blocks_mined,
+            "admissions": self.admissions,
+            "departures": self.departures,
+            "rosters": [[epoch, list(roster)] for epoch, roster in self.rosters],
+            "shards_per_epoch": list(self.shards_per_epoch),
             "feeds": {
                 feed_id: telemetry.fingerprint()
                 for feed_id, telemetry in sorted(self.feeds.items())
@@ -192,6 +239,12 @@ class FleetTelemetry:
         rows = []
         for feed_id in sorted(self.feeds):
             feed = self.feeds[feed_id]
+            if feed.departed:
+                tenancy = f"e{feed.admitted_epoch}–e{feed.departed_epoch}"
+            elif feed.admitted_epoch:
+                tenancy = f"e{feed.admitted_epoch}–"
+            else:
+                tenancy = "resident"
             rows.append(
                 (
                     feed_id,
@@ -201,6 +254,8 @@ class FleetTelemetry:
                     f"{feed.cache_hit_rate * 100:.1f}%",
                     feed.replications,
                     feed.evictions,
+                    feed.deferred_ops,
+                    tenancy,
                 )
             )
         return rows
@@ -209,7 +264,17 @@ class FleetTelemetry:
         """Operator report: per-feed table plus the fleet summary lines."""
         lines = [
             format_table(
-                ["feed", "ops", "feed gas", "gas/op", "cache hit", "repl", "evict"],
+                [
+                    "feed",
+                    "ops",
+                    "feed gas",
+                    "gas/op",
+                    "cache hit",
+                    "repl",
+                    "evict",
+                    "deferred",
+                    "tenancy",
+                ],
                 self.per_feed_rows(),
                 title=title or f"Gateway fleet — {len(self.feeds)} feeds",
             ),
@@ -227,4 +292,12 @@ class FleetTelemetry:
                 f"{self.blocks_mined} blocks mined"
             ),
         ]
+        if self.admissions or self.departures:
+            lines.append(
+                f"elastic: {self.admissions} admissions, "
+                f"{self.departures} departures, "
+                f"{self.deferred_ops} ops deferred by quotas, "
+                f"{self.cancelled_ops} ops / {self.cancelled_requests} pending "
+                "requests cancelled at departure"
+            )
         return "\n".join(lines)

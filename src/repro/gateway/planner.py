@@ -1,0 +1,148 @@
+"""Shard planning for the elastic gateway fleet.
+
+A shard is the unit of settlement: every epoch each shard lands **one**
+batched ``deliver_batch`` and **one** grouped ``update_batch`` transaction,
+and each of those transactions is mined into its own block.  How feeds are
+grouped into shards therefore decides two things at once:
+
+* **batching efficiency** — the more feeds share a shard, the further the 21k
+  transaction base cost is amortised;
+* **block feasibility** — a shard's settlement transaction must fit inside
+  the chain's ``block_gas_limit``; a plan that packs too much verification,
+  replication and callback work into one shard produces blocks no real chain
+  would accept (the simulator surfaces this as the
+  ``block_gas_limit_overflow`` ledger category).
+
+:class:`RoundRobinPlanner` is the original fixed plan (deal feeds into
+``num_shards`` groups and hope they fit).  :class:`GasAwareShardPlanner`
+replaces hope with accounting: it keeps an EWMA of every feed's trailing
+per-epoch gas (straight from the gas ledger's per-feed scopes, via the
+scheduler's epoch summaries) and bin-packs feeds first-fit-decreasing into
+shards whose estimated load stays under ``block_gas_fraction`` of the block
+gas limit.  The per-epoch estimate usually *over*-states the settlement
+transaction's gas (it also contains the feed's driving-phase internal-call
+gas, which never lands in a block), but it is still an estimate: a freshly
+admitted burst tenant's EWMA lags its real load, so a block can exceed the
+planned budget by a modest factor.  The protection against the *limit* is
+therefore the fraction itself — the default budgets only half the block, and
+the churn benchmark records the realised worst case (a ~12% budget excursion
+under a 2% fraction, leaving 49× headroom to the limit).
+
+Every planner must be deterministic: given the same feed list and the same
+observation history it must return the same plan, whatever ``num_workers``
+the scheduler runs with, because the plan shapes batching and therefore the
+fingerprint-pinned telemetry.  Both planners only use exact arithmetic over
+deterministic inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.common.errors import ConfigurationError
+
+
+class ShardPlanner:
+    """Strategy interface: partition the active fleet into settlement shards."""
+
+    def plan(self, feed_ids: Sequence[str], *, block_gas_limit: int) -> List[List[str]]:
+        """Group ``feed_ids`` (admission order) into shards for one epoch."""
+        raise NotImplementedError
+
+    def observe(self, feed_id: str, epoch_gas: int) -> None:
+        """Fold one settled epoch's per-feed gas into the planner's history."""
+
+    def forget(self, feed_id: str) -> None:
+        """Drop a departed feed's history (its id may be reused later)."""
+
+
+@dataclass
+class RoundRobinPlanner(ShardPlanner):
+    """The fixed plan of the original engine: deal feeds into ``num_shards``.
+
+    Gas-oblivious but stable — a fixed fleet keeps the same plan every epoch —
+    so it remains the default for workloads that are known to fit.
+    """
+
+    num_shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+
+    def plan(self, feed_ids: Sequence[str], *, block_gas_limit: int) -> List[List[str]]:
+        groups = [
+            list(feed_ids[index :: self.num_shards]) for index in range(self.num_shards)
+        ]
+        return [group for group in groups if group]
+
+
+@dataclass
+class GasAwareShardPlanner(ShardPlanner):
+    """First-fit-decreasing bin packing under a per-shard block gas budget.
+
+    Attributes:
+        block_gas_fraction: the fraction of ``block_gas_limit`` one shard's
+            estimated epoch gas may occupy.  The default leaves half the block
+            as headroom for estimate error and replication bursts.
+        ewma_alpha: weight of the newest observation in the per-feed EWMA.
+        bootstrap_gas: estimate used for a feed with no history yet (a freshly
+            admitted tenant); deliberately generous so new tenants start in
+            roomy shards and earn denser packing as their history accrues.
+    """
+
+    block_gas_fraction: float = 0.5
+    ewma_alpha: float = 0.25
+    bootstrap_gas: int = 250_000
+    _estimates: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.block_gas_fraction <= 1.0:
+            raise ConfigurationError("block_gas_fraction must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
+        if self.bootstrap_gas <= 0:
+            raise ConfigurationError("bootstrap_gas must be positive")
+
+    def estimate(self, feed_id: str) -> float:
+        """The feed's current per-epoch gas estimate (bootstrap if unseen)."""
+        return self._estimates.get(feed_id, float(self.bootstrap_gas))
+
+    def observe(self, feed_id: str, epoch_gas: int) -> None:
+        previous = self._estimates.get(feed_id)
+        if previous is None:
+            # First real observation replaces the bootstrap outright; blending
+            # it would let an arbitrary constant linger for many epochs.
+            self._estimates[feed_id] = float(epoch_gas)
+        else:
+            self._estimates[feed_id] = (
+                self.ewma_alpha * epoch_gas + (1.0 - self.ewma_alpha) * previous
+            )
+
+    def forget(self, feed_id: str) -> None:
+        self._estimates.pop(feed_id, None)
+
+    def plan(self, feed_ids: Sequence[str], *, block_gas_limit: int) -> List[List[str]]:
+        if not feed_ids:
+            return []
+        budget = self.block_gas_fraction * block_gas_limit
+        # Heaviest feeds first (feed id breaks ties) — the classic FFD
+        # ordering, which keeps the shard count near optimal.
+        ranked = sorted(feed_ids, key=lambda feed_id: (-self.estimate(feed_id), feed_id))
+        shards: List[List[str]] = []
+        loads: List[float] = []
+        for feed_id in ranked:
+            estimate = self.estimate(feed_id)
+            for index in range(len(shards)):
+                if loads[index] + estimate <= budget:
+                    shards[index].append(feed_id)
+                    loads[index] += estimate
+                    break
+            else:
+                # A feed estimated above the budget still gets a shard of its
+                # own — shards cannot split below feed granularity, and the
+                # estimate overstates the actual settlement transaction.
+                shards.append([feed_id])
+                loads.append(estimate)
+        return shards

@@ -39,12 +39,24 @@ class FeedSpec:
     #: Optional factory building the feed's consumer contract from the storage
     #: manager's address (defaults to the plain DataConsumerContract).
     consumer_factory: Optional[object] = None
+    #: Per-tenant quota: at most this many workload operations are driven per
+    #: epoch; the excess is deferred to later epochs (``None`` = unlimited).
+    max_ops_per_epoch: Optional[int] = None
+    #: Per-tenant quota: once the feed's driving-phase gas for an epoch
+    #: reaches this amount, its remaining operations are deferred to later
+    #: epochs (``None`` = unlimited).  At least one operation always executes
+    #: per epoch, so a quota can throttle a tenant but never wedge it.
+    max_gas_per_epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.feed_id or "/" in self.feed_id:
             raise ConfigurationError(
                 f"feed id must be a non-empty string without '/', got {self.feed_id!r}"
             )
+        if self.max_ops_per_epoch is not None and self.max_ops_per_epoch <= 0:
+            raise ConfigurationError("max_ops_per_epoch must be positive when given")
+        if self.max_gas_per_epoch is not None and self.max_gas_per_epoch <= 0:
+            raise ConfigurationError("max_gas_per_epoch must be positive when given")
 
 
 @dataclass

@@ -1,5 +1,5 @@
-"""The parallel epoch engine: drive a fleet of feeds concurrently, settle
-deterministically.
+"""The elastic parallel epoch engine: drive a churning fleet of feeds
+concurrently, settle deterministically, respect the block gas limit.
 
 Single-feed GRuB already amortises transaction base cost across the requests
 of one epoch.  The scheduler applies the same idea across *tenants*: feeds are
@@ -11,9 +11,36 @@ work is coalesced into
 * **one** grouped ``update`` transaction per shard (every feed's prepared
   epoch update),
 
-both landed through the :class:`~repro.gateway.router.GatewayRouterContract`,
-so a shard of S feeds pays one 21k transaction base where S isolated
-deployments pay up to 2·S per epoch.
+both landed through the :class:`~repro.gateway.router.GatewayRouterContract`
+and each mined into its own block, so a shard of S feeds pays one 21k
+transaction base where S isolated deployments pay up to 2·S per epoch — and
+so every settlement block's gas is exactly one shard's batch, the quantity
+the shard planner budgets against ``ChainParameters.block_gas_limit``.
+
+**Elastic fleets.** The scheduler is a fleet controller, not a fixed-fleet
+loop: :meth:`EpochScheduler.admit` and :meth:`EpochScheduler.evict` queue
+tenant arrivals and departures that are applied at epoch boundaries (feeds
+never change mid-epoch, so per-epoch accounting stays exact).  An admitted
+feed is created in the registry, given a cache shard and a telemetry row, and
+joins the next shard plan; an evicted feed has its pending deliver requests
+explicitly cancelled (after a final watchdog poll), its unexecuted workload
+operations counted as cancelled, its registry entry removed (which deregisters
+its watchdog route and tears down its cache shard via the removal listeners)
+— while its telemetry row is retained as the tenant's final bill.  Feed ids
+are unique within one run; a departed id may be reused in a later run.
+
+**Shard planning and quotas.** Each epoch's shard plan comes from a
+:class:`~repro.gateway.planner.ShardPlanner` — by default the original
+round-robin plan, or a :class:`~repro.gateway.planner.GasAwareShardPlanner`
+that estimates per-feed epoch gas from trailing telemetry and bin-packs
+feeds so every settlement block stays under a configured fraction of the
+block gas limit.  Per-tenant quotas live on the :class:`FeedSpec`:
+``max_ops_per_epoch`` caps how many of a feed's operations one epoch may
+drive, and ``max_gas_per_epoch`` stops driving a feed once its epoch's
+driving-phase gas reaches the cap (checked after each operation, so at least
+one operation always executes and a throttled tenant still terminates).
+Over-quota operations are *deferred*: they stay at the head of the feed's
+queue for later epochs and are surfaced as ``deferred_ops`` in telemetry.
 
 **Parallel execution.** Feeds are independent between settlement points, so
 within an epoch the off-chain work of every shard — driving its feeds'
@@ -22,14 +49,16 @@ operations, generating the SP's deliver proofs, running each DO's
 :class:`~concurrent.futures.ThreadPoolExecutor` with ``num_workers`` threads.
 Isolation is structural, not locked: a worker owns whole shards (so every
 per-feed object — contracts, SP store, control plane, cache shard, telemetry
-row — is touched by exactly one thread), and the two globally *ordered*
-chain structures (the gas ledger and the event log) are deferred into
-per-shard :class:`~repro.chain.chain.ExecutionBuffer`\\ s.  Settlement then
-lands in a **deterministic merge phase**: buffers are absorbed, transactions
-submitted, and accounting folded in fixed shard order, so a parallel run
-produces bit-identical telemetry, per-feed gas bills and chain state to a
-serial (``num_workers=1``) run — which executes the very same buffered code
-path.
+row, workload queue — is touched by exactly one thread), and the two globally
+*ordered* chain structures (the gas ledger and the event log) are deferred
+into per-shard :class:`~repro.chain.chain.ExecutionBuffer`\\ s.  Settlement
+then lands in a **deterministic merge phase**: buffers are absorbed,
+transactions submitted, and accounting folded in fixed shard order, so a
+parallel run produces bit-identical telemetry, per-feed gas bills and chain
+state to a serial (``num_workers=1``) run — which executes the very same
+buffered code path.  Churn processing and shard planning happen on the main
+thread between epochs, from deterministic inputs, so the guarantee extends
+to elastic runs (pinned by ``tests/gateway/test_elastic_properties.py``).
 
 Reads are fronted by the consumer-side :class:`~repro.gateway.cache.ReadCache`
 when one is configured: a read of a key whose verified replica the gateway has
@@ -44,16 +73,28 @@ entry; keys written during the current epoch are never memoised until their
 epoch update lands.
 
 The scheduler never consults a wall clock for scheduling decisions and uses
-no randomness, so two runs over the same fleet and workloads are identical —
-whatever ``num_workers`` says; ``time.perf_counter`` is only sampled to report
-the runtime's own ops/sec.
+no randomness, so two runs over the same fleet, workloads and churn schedule
+are identical — whatever ``num_workers`` says; ``time.perf_counter`` is only
+sampled to report the runtime's own ops/sec.
 """
 
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.chain.chain import ExecutionBuffer
 from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
@@ -62,7 +103,8 @@ from repro.common.errors import ConfigurationError, ReproError
 from repro.common.types import EpochSummary, Operation, OperationKind, ReplicationState
 from repro.gateway.cache import ReadCache
 from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
-from repro.gateway.registry import FeedHandle, FeedRegistry
+from repro.gateway.planner import RoundRobinPlanner, ShardPlanner
+from repro.gateway.registry import FeedHandle, FeedRegistry, FeedSpec
 from repro.gateway.router import (
     DeliverGroup,
     UpdateGroup,
@@ -75,9 +117,26 @@ from repro.gateway.router import (
 GATEWAY_OPERATOR = "gateway-operator"
 
 
+@dataclass(frozen=True)
+class Admission:
+    """One queued tenant arrival, applied at the first boundary ≥ ``at_epoch``."""
+
+    spec: FeedSpec
+    operations: Tuple[Operation, ...]
+    at_epoch: int = 0
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """One queued tenant departure; the feed does not run epoch ``at_epoch``."""
+
+    feed_id: str
+    at_epoch: int = 0
+
+
 class EpochScheduler:
-    """Drives hosted feeds epoch-by-epoch with parallel off-chain execution
-    and cross-feed batched settlement."""
+    """Drives hosted feeds epoch-by-epoch with parallel off-chain execution,
+    cross-feed batched settlement and epoch-boundary tenant churn."""
 
     def __init__(
         self,
@@ -88,11 +147,19 @@ class EpochScheduler:
         epoch_size: Optional[int] = None,
         read_cache: Optional[ReadCache] = None,
         enable_cache: bool = True,
+        planner: Optional[ShardPlanner] = None,
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
         if num_workers <= 0:
             raise ConfigurationError("num_workers must be positive")
+        if planner is not None and num_shards != 1:
+            raise ConfigurationError(
+                "num_shards only configures the default round-robin planner; "
+                "with an explicit planner, configure sharding on the planner"
+            )
+        if epoch_size is not None and epoch_size <= 0:
+            raise ConfigurationError("epoch_size must be positive when given")
         self.registry = registry
         self.num_shards = num_shards
         #: Worker threads for the per-shard off-chain phases.  Results are
@@ -100,6 +167,11 @@ class EpochScheduler:
         #: speed, never any output.
         self.num_workers = num_workers
         self._epoch_size = epoch_size
+        #: The per-epoch shard planner; defaults to the gas-oblivious
+        #: round-robin plan over ``num_shards``.
+        self.planner: ShardPlanner = (
+            planner if planner is not None else RoundRobinPlanner(num_shards)
+        )
         self.cache = read_cache if read_cache is not None else (ReadCache() if enable_cache else None)
         if self.cache is not None and self.cache.invalidate_feed not in registry.removal_listeners:
             # A leaving tenant's entries must not linger (or be served to a
@@ -110,23 +182,180 @@ class EpochScheduler:
         #: mid-epoch (a later epoch would otherwise be served the old value).
         self._dirty: Dict[str, set] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._admission_queue: List[Admission] = []
+        self._eviction_queue: List[Eviction] = []
         self.epochs_run = 0
 
     # -- sharding -------------------------------------------------------------
 
     def shards(self, feed_ids: Sequence[str]) -> List[List[str]]:
-        """Partition feeds round-robin into at most ``num_shards`` groups."""
-        groups = [list(feed_ids[index :: self.num_shards]) for index in range(self.num_shards)]
-        return [group for group in groups if group]
+        """The plan ``self.planner`` would produce for ``feed_ids`` right now.
+
+        A convenience view over the configured planner (round-robin by
+        default); the run itself asks the planner for a fresh plan every
+        epoch, so this reflects what the next epoch would actually settle
+        under — whatever planner is configured.
+        """
+        return self.planner.plan(
+            feed_ids, block_gas_limit=self.registry.chain.parameters.block_gas_limit
+        )
 
     def epoch_size_for(self, feed_ids: Sequence[str]) -> int:
-        """The lockstep epoch size: explicit, or the largest feed epoch size."""
+        """The lockstep epoch size: explicit, or the largest feed epoch size
+        across the initial fleet and every queued admission."""
         if self._epoch_size is not None:
             return self._epoch_size
         sizes = [
             self.registry.get(feed_id).system.config.epoch_size for feed_id in feed_ids
         ]
+        sizes.extend(
+            admission.spec.config.epoch_size for admission in self._admission_queue
+        )
         return max(sizes) if sizes else 32
+
+    # -- fleet controller (admission queue) -----------------------------------
+
+    def admit(
+        self,
+        spec: FeedSpec,
+        operations: Iterable[Operation],
+        *,
+        at_epoch: int = 0,
+    ) -> None:
+        """Queue a tenant arrival: the feed joins at the first epoch boundary
+        with index ≥ ``at_epoch`` and runs its ``operations`` from there."""
+        if at_epoch < 0:
+            raise ConfigurationError("at_epoch must be non-negative")
+        self._require_batch_deliver(spec)
+        if any(a.spec.feed_id == spec.feed_id for a in self._admission_queue):
+            # Feed ids are unique per run, so a second admission could never
+            # apply — fail fast here instead of aborting mid-run.
+            raise ConfigurationError(
+                f"admission of {spec.feed_id!r} is already queued"
+            )
+        self._admission_queue.append(Admission(spec, tuple(operations), at_epoch))
+
+    def evict(self, feed_id: str, *, at_epoch: int = 0) -> None:
+        """Queue a tenant departure: the feed does not participate in epoch
+        ``at_epoch`` or any later one.  Unexecuted workload operations are
+        cancelled and counted; the final telemetry row and gas bill remain.
+
+        An eviction dated before its feed's admission defers until the feed
+        arrives (the tenant then joins and immediately leaves); evicting a
+        feed the gateway never hosts fails the run loudly at apply time."""
+        if at_epoch < 0:
+            raise ConfigurationError("at_epoch must be non-negative")
+        if any(eviction.feed_id == feed_id for eviction in self._eviction_queue):
+            # Feed ids are unique per run, so a second eviction could never
+            # apply — fail fast here instead of aborting mid-run.
+            raise ConfigurationError(f"eviction of {feed_id!r} is already queued")
+        self._eviction_queue.append(Eviction(feed_id, at_epoch))
+
+    @property
+    def pending_churn(self) -> int:
+        """Queued admissions plus evictions not yet applied."""
+        return len(self._admission_queue) + len(self._eviction_queue)
+
+    def _next_churn_epoch(self) -> int:
+        """The earliest epoch a queued churn event can fire at.
+
+        Evictions whose feed has a queued admission are covered by that
+        admission's epoch (they defer until the feed arrives); every other
+        queued event contributes its own ``at_epoch``.  Only called while
+        churn is pending.
+        """
+        admit_ids = {a.spec.feed_id for a in self._admission_queue}
+        epochs = [a.at_epoch for a in self._admission_queue]
+        epochs.extend(
+            e.at_epoch for e in self._eviction_queue if e.feed_id not in admit_ids
+        )
+        return min(epochs)
+
+    def _require_batch_deliver(self, spec: FeedSpec) -> None:
+        if not spec.config.batch_deliver:
+            raise ConfigurationError(
+                f"feed {spec.feed_id!r}: the gateway settles delivers at epoch "
+                "boundaries; per-request delivery (batch_deliver=False) is "
+                "a single-feed ablation mode"
+            )
+
+    def _apply_churn(
+        self,
+        epoch: int,
+        active: List[str],
+        queues: Dict[str, Deque[Operation]],
+        fleet: FleetTelemetry,
+    ) -> None:
+        """Apply every due arrival, then every due departure, in queue order.
+
+        Arrivals first makes an admit/evict pair due at the same boundary
+        well-defined: the tenant joins and immediately leaves (its whole
+        workload cancelled) instead of the eviction failing on a feed that
+        does not exist yet.
+        """
+        due_admissions = [a for a in self._admission_queue if a.at_epoch <= epoch]
+        for admission in due_admissions:
+            self._admission_queue.remove(admission)
+            spec = admission.spec
+            if spec.feed_id in fleet.feeds:
+                raise ConfigurationError(
+                    f"feed id {spec.feed_id!r} was already hosted in this run; "
+                    "ids are unique per run (reuse is allowed across runs)"
+                )
+            self._require_batch_deliver(spec)
+            self.registry.create_feed(spec)
+            queues[spec.feed_id] = deque(admission.operations)
+            active.append(spec.feed_id)
+            self._dirty[spec.feed_id] = set()
+            if self.cache is not None:
+                self.cache.ensure_shard(spec.feed_id)
+            fleet.feeds[spec.feed_id] = FeedTelemetry(
+                feed_id=spec.feed_id, admitted_epoch=epoch
+            )
+            fleet.admissions += 1
+        due_evictions = [e for e in self._eviction_queue if e.at_epoch <= epoch]
+        if due_evictions:
+            # Pull any still-unrouted request events while the departing
+            # feeds' routes exist, so their cancellation is explicit and
+            # counted instead of events dangling toward a dead handle.
+            self.registry.watchdog.poll()
+        for eviction in due_evictions:
+            feed_id = eviction.feed_id
+            telemetry = fleet.feeds.get(feed_id)
+            if (telemetry is not None and telemetry.departed) or feed_id not in self.registry:
+                if any(a.spec.feed_id == feed_id for a in self._admission_queue):
+                    # The eviction outran its feed's admission; leave it
+                    # queued — it fires the boundary the feed arrives (the
+                    # tenant joins and immediately leaves).
+                    continue
+                raise ConfigurationError(
+                    f"cannot evict {feed_id!r}: "
+                    + (
+                        "the feed already departed this run"
+                        if telemetry is not None and telemetry.departed
+                        else "not hosted by the gateway"
+                    )
+                )
+            self._eviction_queue.remove(eviction)
+            if telemetry is None:
+                # Registered but idle this run (no workload): still a real
+                # departure — it gets a (empty) final bill like any tenant.
+                telemetry = FeedTelemetry(feed_id=feed_id)
+                fleet.feeds[feed_id] = telemetry
+            handle = self.registry.get(feed_id)
+            telemetry.cancelled_requests += self.registry.watchdog.cancel_pending(handle)
+            queue = queues.pop(feed_id, None)
+            if queue is not None:
+                telemetry.cancelled_ops += len(queue)
+            if feed_id in active:
+                active.remove(feed_id)
+            telemetry.departed_epoch = epoch
+            fleet.departures += 1
+            self.planner.forget(feed_id)
+            self._dirty.pop(feed_id, None)
+            # Deregisters the watchdog route, frees the on-chain addresses and
+            # fires the removal listeners (cache shard teardown among them).
+            self.registry.remove_feed(feed_id)
 
     # -- worker-pool plumbing -------------------------------------------------
 
@@ -146,66 +375,84 @@ class EpochScheduler:
 
     # -- the fleet run --------------------------------------------------------
 
-    def run(self, workloads: Mapping[str, Sequence[Operation]]) -> FleetTelemetry:
-        """Drive every feed's workload through the gateway, epoch by epoch.
+    def run(
+        self, workloads: Optional[Mapping[str, Sequence[Operation]]] = None
+    ) -> FleetTelemetry:
+        """Drive the fleet through the gateway, epoch by epoch, until every
+        workload (initial and admitted) is executed or cancelled and no churn
+        events remain queued.
 
-        ``workloads`` maps feed id → operation sequence.  All feeds advance in
-        lockstep: epoch ``e`` takes each feed's operations
-        ``[e * epoch_size, (e + 1) * epoch_size)``; feeds whose workload is
-        exhausted simply stop contributing operations (their empty epochs
-        send no transactions).
+        ``workloads`` maps feed id → operation sequence for feeds registered
+        before the run; tenants joining mid-run bring their workloads through
+        :meth:`admit`.  All feeds advance in lockstep: each epoch takes up to
+        ``epoch_size`` operations from the head of every active feed's queue
+        (fewer under quota); feeds whose queue is exhausted simply stop
+        contributing operations (their empty epochs send no transactions).
         """
+        workloads = dict(workloads) if workloads else {}
         feed_ids = [feed_id for feed_id in self.registry.feed_ids if feed_id in workloads]
         missing = set(workloads) - set(feed_ids)
         if missing:
             raise ConfigurationError(f"workloads for unregistered feeds: {sorted(missing)}")
         for feed_id in feed_ids:
-            config = self.registry.get(feed_id).system.config
-            if not config.batch_deliver:
-                raise ConfigurationError(
-                    f"feed {feed_id!r}: the gateway settles delivers at epoch "
-                    "boundaries; per-request delivery (batch_deliver=False) is "
-                    "a single-feed ablation mode"
-                )
+            self._require_batch_deliver(self.registry.get(feed_id).spec)
 
-        operations = {feed_id: list(workloads[feed_id]) for feed_id in feed_ids}
+        queues: Dict[str, Deque[Operation]] = {
+            feed_id: deque(workloads[feed_id]) for feed_id in feed_ids
+        }
         epoch_size = self.epoch_size_for(feed_ids)
-        total_epochs = max(
-            (len(ops) + epoch_size - 1) // epoch_size for ops in operations.values()
-        ) if operations else 0
-        shard_plan = self.shards(feed_ids)
+        active: List[str] = list(feed_ids)
 
         # Pre-create every per-feed structure a worker will touch, so the
         # parallel phases never mutate a shared directory — workers only
         # operate on the interiors of structures their shard exclusively owns.
-        self._dirty = {feed_id: set() for feed_id in feed_ids}
+        self._dirty = {feed_id: set() for feed_id in active}
         if self.cache is not None:
-            for feed_id in feed_ids:
+            for feed_id in active:
                 self.cache.ensure_shard(feed_id)
 
         fleet = FleetTelemetry(
-            feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in feed_ids}
+            feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in active}
         )
         blocks_before = self.registry.chain.height
         wall_start = time.perf_counter()
 
-        use_pool = self.num_workers > 1 and len(shard_plan) > 1
         pool = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="epoch-worker"
-        ) if use_pool else None
+        ) if self.num_workers > 1 else None
         self._pool = pool
+        epoch = 0
         try:
-            for epoch in range(total_epochs):
-                self._run_epoch(epoch, epoch_size, operations, shard_plan, fleet)
+            while True:
+                self._apply_churn(epoch, active, queues, fleet)
+                has_work = any(queues[f] for f in active)
+                if not self.pending_churn and not has_work:
+                    break
+                if not has_work:
+                    # Every queue is idle; the run is only waiting out the
+                    # epochs until the next churn event.  Jump straight to
+                    # the earliest one (O(1) per wait, however far off) —
+                    # no summaries, no polling, no blocks, no roster entries
+                    # for the skipped span, whose membership cannot change.
+                    epoch = max(epoch + 1, self._next_churn_epoch())
+                    continue
+                shard_plan = self.planner.plan(
+                    active,
+                    block_gas_limit=self.registry.chain.parameters.block_gas_limit,
+                )
+                fleet.rosters.append((epoch, sorted(active)))
+                fleet.shards_per_epoch.append(len(shard_plan))
+                self._run_epoch(epoch, epoch_size, active, queues, shard_plan, fleet)
+                epoch += 1
         finally:
             self._pool = None
             if pool is not None:
                 pool.shutdown(wait=True)
 
         fleet.wall_seconds = time.perf_counter() - wall_start
-        fleet.epochs_run = total_epochs
+        fleet.epochs_run = epoch
         fleet.blocks_mined = self.registry.chain.height - blocks_before
-        self.epochs_run += total_epochs
+        self.epochs_run += epoch
         return fleet
 
     # -- one lockstep epoch ---------------------------------------------------
@@ -214,7 +461,8 @@ class EpochScheduler:
         self,
         epoch: int,
         epoch_size: int,
-        operations: Mapping[str, List[Operation]],
+        active: List[str],
+        queues: Dict[str, Deque[Operation]],
         shard_plan: List[List[str]],
         fleet: FleetTelemetry,
     ) -> None:
@@ -224,7 +472,7 @@ class EpochScheduler:
                 ledger.scope_total(feed_id, LAYER_FEED),
                 ledger.scope_total(feed_id, LAYER_APPLICATION),
             )
-            for feed_id in operations
+            for feed_id in active
         }
 
         # Phase 1 — every shard drives its feeds' slice of the epoch
@@ -233,7 +481,7 @@ class EpochScheduler:
         # charges and emitted events land in per-shard buffers, merged below
         # in shard order.
         drive_results = self._map_shards(
-            self._drive_shard, shard_plan, epoch, epoch_size, operations, fleet
+            self._drive_shard, shard_plan, epoch, epoch_size, queues, fleet
         )
         summaries: Dict[str, EpochSummary] = {}
         for buffer, shard_summaries in drive_results:
@@ -242,76 +490,71 @@ class EpochScheduler:
 
         # Phase 2 — the shared watchdog scans the merged log once for the
         # whole fleet; each shard then builds its deliver groups (record
-        # lookups + batched Merkle proof generation) concurrently, and the
-        # groups settle in one batched deliver transaction per shard, in
-        # shard order.
+        # lookups + batched Merkle proof generation) concurrently, and each
+        # shard's groups settle in one batched deliver transaction mined into
+        # its own block, in shard order — one shard, one block, so the block
+        # gas limit bounds exactly what the planner budgeted.
         self.registry.watchdog.poll()
-        deliveries: Dict[str, int] = {feed_id: 0 for feed_id in operations}
+        deliveries: Dict[str, int] = {feed_id: 0 for feed_id in active}
         shard_deliver_groups = self._map_shards(self._build_deliver_groups, shard_plan)
-        batch_txs: List[Transaction] = []
         delivered_groups: List[DeliverGroup] = []
         for groups in shard_deliver_groups:
             if not groups:
                 continue
-            batch_txs.append(
-                self.registry.chain.submit(
-                    Transaction(
-                        sender=GATEWAY_OPERATOR,
-                        contract=self.registry.router.address,
-                        function="deliver_batch",
-                        args={"groups": groups},
-                        calldata_bytes=sum(group.calldata_bytes for group in groups),
-                        layer=LAYER_FEED,
-                        scopes=scope_weights_for_deliver(groups),
-                    )
+            transaction = self.registry.chain.submit(
+                Transaction(
+                    sender=GATEWAY_OPERATOR,
+                    contract=self.registry.router.address,
+                    function="deliver_batch",
+                    args={"groups": groups},
+                    calldata_bytes=sum(group.calldata_bytes for group in groups),
+                    layer=LAYER_FEED,
+                    scopes=scope_weights_for_deliver(groups),
                 )
             )
+            self.registry.chain.mine_block()
+            self._check_settlement([transaction])
             fleet.deliver_batches += 1
             for group in groups:
                 deliveries[group.feed_id] += 1
                 fleet.feeds[group.feed_id].deliver_groups += 1
                 delivered_groups.append(group)
-        if batch_txs:
-            self.registry.chain.mine_block()
-        self._check_settlement(batch_txs)
         self._warm_cache_from_deliveries(delivered_groups)
 
         # Phase 3 — every shard prepares its feeds' epoch updates (control
         # plane + ADS + root signing) concurrently; each shard's payloads
-        # land in one grouped update transaction, in shard order.
+        # land in one grouped update transaction and its own block, in shard
+        # order.
         transitions: Dict[str, Dict[str, ReplicationState]] = {}
-        updates: Dict[str, int] = {feed_id: 0 for feed_id in operations}
+        updates: Dict[str, int] = {feed_id: 0 for feed_id in active}
         shard_update_results = self._map_shards(self._prepare_update_groups, shard_plan)
-        update_txs: List[Transaction] = []
         for groups_u, shard_transitions in shard_update_results:
             transitions.update(shard_transitions)
             if not groups_u:
                 continue
-            update_txs.append(
-                self.registry.chain.submit(
-                    Transaction(
-                        sender=GATEWAY_OPERATOR,
-                        contract=self.registry.router.address,
-                        function="update_batch",
-                        args={"groups": groups_u},
-                        calldata_bytes=sum(group.calldata_bytes for group in groups_u),
-                        layer=LAYER_FEED,
-                        scopes=scope_weights_for_update(groups_u),
-                    )
+            transaction = self.registry.chain.submit(
+                Transaction(
+                    sender=GATEWAY_OPERATOR,
+                    contract=self.registry.router.address,
+                    function="update_batch",
+                    args={"groups": groups_u},
+                    calldata_bytes=sum(group.calldata_bytes for group in groups_u),
+                    layer=LAYER_FEED,
+                    scopes=scope_weights_for_update(groups_u),
                 )
             )
+            self.registry.chain.mine_block()
+            self._check_settlement([transaction])
             fleet.update_batches += 1
             for group in groups_u:
                 updates[group.feed_id] += 1
                 fleet.feeds[group.feed_id].update_groups += 1
-        if update_txs:
-            self.registry.chain.mine_block()
-        self._check_settlement(update_txs)
 
-        # Phase 4 — settle per-feed accounting for the epoch and apply
+        # Phase 4 — settle per-feed accounting for the epoch, apply
         # replication-keyed cache invalidation (an evicted replica must not be
-        # served from the cache).
-        for feed_id in operations:
+        # served from the cache), and feed the settled gas back to the shard
+        # planner's estimates.
+        for feed_id in active:
             handle = self.registry.get(feed_id)
             telemetry = fleet.feeds[feed_id]
             summary = summaries[feed_id]
@@ -342,6 +585,7 @@ class EpochScheduler:
             telemetry.gas_application += summary.gas_application
             telemetry.replications += summary.replications
             telemetry.evictions += summary.evictions
+            self.planner.observe(feed_id, summary.gas_total)
 
     # -- per-shard work (runs on worker threads) ------------------------------
 
@@ -350,25 +594,55 @@ class EpochScheduler:
         shard: List[str],
         epoch: int,
         epoch_size: int,
-        operations: Mapping[str, List[Operation]],
+        queues: Dict[str, Deque[Operation]],
         fleet: FleetTelemetry,
     ) -> Tuple[ExecutionBuffer, Dict[str, EpochSummary]]:
         """Phase-1 worker: drive every feed of one shard through its epoch
-        slice, buffering chain side effects for the ordered merge."""
+        slice, buffering chain side effects for the ordered merge.
+
+        Each feed consumes from the head of its own queue — up to
+        ``epoch_size`` operations, capped by the tenant's ``max_ops_per_epoch``
+        quota, and cut short once ``max_gas_per_epoch`` is reached (checked
+        after each operation against the feed's scoped gas in this shard's
+        buffer, which contains exactly the feed's own driving-phase charges).
+        Whatever the epoch could not take stays queued and is counted as
+        deferred.
+        """
         chain = self.registry.chain
         shard_summaries: Dict[str, EpochSummary] = {}
         with chain.isolated_execution() as buffer:
             for feed_id in shard:
-                if feed_id not in operations:
-                    continue
                 handle = self.registry.get(feed_id)
                 telemetry = fleet.feeds[feed_id]
-                ops = operations[feed_id]
-                epoch_ops = ops[epoch * epoch_size : (epoch + 1) * epoch_size]
-                summary = handle.system.begin_epoch(epoch, len(epoch_ops))
+                queue = queues[feed_id]
+                spec = handle.spec
+                planned = min(len(queue), epoch_size)
+                take = planned
+                if spec.max_ops_per_epoch is not None:
+                    take = min(take, spec.max_ops_per_epoch)
+                summary = handle.system.begin_epoch(epoch, take)
                 shard_summaries[feed_id] = summary
-                for operation in epoch_ops:
+                executed = 0
+                gas_cap = spec.max_gas_per_epoch
+                by_scope = buffer.ledger.by_scope
+                for _ in range(take):
+                    operation = queue.popleft()
                     self._drive(handle, operation, summary, telemetry)
+                    executed += 1
+                    if (
+                        gas_cap is not None
+                        and executed < take
+                        # O(1) per-op: the feed's two layer buckets, not a
+                        # scan of every scope in the shard buffer.
+                        and by_scope.get((feed_id, LAYER_FEED), 0)
+                        + by_scope.get((feed_id, LAYER_APPLICATION), 0)
+                        >= gas_cap
+                    ):
+                        break
+                summary.operations = executed
+                deferred = planned - executed
+                if deferred:
+                    telemetry.deferred_ops += deferred
         return buffer, shard_summaries
 
     def _build_deliver_groups(self, shard: List[str]) -> List[DeliverGroup]:

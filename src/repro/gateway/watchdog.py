@@ -33,12 +33,28 @@ class SharedWatchdog:
     _routes: Dict[str, "FeedHandle"] = field(default_factory=dict)
     events_scanned: int = 0
     requests_routed: int = 0
+    requests_cancelled: int = 0
 
     def register(self, handle: "FeedHandle") -> None:
         self._routes[handle.storage_manager.address] = handle
 
     def deregister(self, handle: "FeedHandle") -> None:
         self._routes.pop(handle.storage_manager.address, None)
+
+    def cancel_pending(self, handle: "FeedHandle") -> int:
+        """Explicitly cancel a departing feed's undelivered requests.
+
+        The fleet controller calls this (after a final :meth:`poll`) before a
+        feed is removed: any request the watchdog routed to the feed's SP but
+        the scheduler has not yet settled is dropped *visibly* — counted here
+        and in the feed's telemetry — instead of being silently routed to a
+        dead handle once the feed's contracts are undeployed.  Returns the
+        number of requests cancelled.
+        """
+        cancelled = len(handle.service_provider.pending)
+        handle.service_provider.pending.clear()
+        self.requests_cancelled += cancelled
+        return cancelled
 
     def poll(self) -> int:
         """Scan new events once, routing requests to their feeds' SPs.

@@ -1,0 +1,276 @@
+"""Fleet-churn workload generator: tenants that come and go mid-run.
+
+The multi-tenant gateway's elastic scheduler admits and evicts feeds at epoch
+boundaries; this module generates the *schedules* that exercise it — a
+resident base fleet plus seeded arrival/departure events — the way
+:mod:`repro.workloads.synthetic` generates single-feed operation sequences.
+
+Three tenant shapes are produced:
+
+* **resident tenants** — present from epoch 0, mixed read/write synthetic
+  workloads over private key ranges, heterogeneous decision algorithms; a
+  configurable few carry tight per-epoch quotas (``max_ops_per_epoch`` /
+  ``max_gas_per_epoch``) so quota deferral is always exercised;
+* **joining tenants** — ordinary tenants that arrive at a mid-run epoch
+  boundary with their whole workload;
+* **NFT-mint burst tenants** — short-lived arrivals modelled on an NFT mint:
+  a dense burst of writes (the mint) followed by heavy reads concentrated on
+  the first few tokens (the trading frenzy), departing a few epochs later.
+  These are the shard planner's stress case: a new tenant with no gas
+  history whose real load is far above a resident feed's.
+
+Every stochastic choice flows from one ``random.Random(seed)``, so a schedule
+is reproducible from its seed — which is what the property harness and the
+churn benchmark pin their invariants on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import KVRecord, Operation
+from repro.core.config import GrubConfig
+from repro.gateway.registry import FeedSpec
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class TenantJoin:
+    """One tenant arrival: the spec plus the workload it brings along."""
+
+    at_epoch: int
+    spec: FeedSpec
+    operations: Tuple[Operation, ...]
+
+    @property
+    def feed_id(self) -> str:
+        return self.spec.feed_id
+
+
+@dataclass(frozen=True)
+class TenantLeave:
+    """One tenant departure (the feed does not run epoch ``at_epoch``)."""
+
+    at_epoch: int
+    feed_id: str
+
+
+@dataclass
+class ChurnSchedule:
+    """A complete elastic-fleet scenario: initial fleet + churn events."""
+
+    epoch_size: int
+    initial: List[TenantJoin] = field(default_factory=list)
+    joins: List[TenantJoin] = field(default_factory=list)
+    leaves: List[TenantLeave] = field(default_factory=list)
+
+    def install(self, registry, scheduler) -> Dict[str, List[Operation]]:
+        """Create the initial fleet on ``registry``, queue every churn event
+        on ``scheduler``, and return the initial workloads for ``run()``."""
+        workloads: Dict[str, List[Operation]] = {}
+        for join in self.initial:
+            registry.create_feed(join.spec)
+            workloads[join.feed_id] = list(join.operations)
+        for join in self.joins:
+            scheduler.admit(join.spec, join.operations, at_epoch=join.at_epoch)
+        for leave in self.leaves:
+            scheduler.evict(leave.feed_id, at_epoch=leave.at_epoch)
+        return workloads
+
+    def admitted_op_counts(self) -> Dict[str, int]:
+        """feed id → total operations admitted (for conservation checks)."""
+        counts = {join.feed_id: len(join.operations) for join in self.initial}
+        counts.update({join.feed_id: len(join.operations) for join in self.joins})
+        return counts
+
+    def quota_feed_ids(self) -> List[str]:
+        """Feeds carrying an ops or gas quota, in schedule order."""
+        return [
+            join.feed_id
+            for join in (*self.initial, *self.joins)
+            if join.spec.max_ops_per_epoch is not None
+            or join.spec.max_gas_per_epoch is not None
+        ]
+
+    @property
+    def departures(self) -> Dict[str, int]:
+        """feed id → departure epoch."""
+        return {leave.feed_id: leave.at_epoch for leave in self.leaves}
+
+
+_ALGORITHM_POOL = ("memoryless", "memoryless", "adaptive-k1", "always", "memorizing")
+
+
+@dataclass
+class FleetChurnWorkload:
+    """Seeded generator of :class:`ChurnSchedule` scenarios.
+
+    Attributes:
+        base_feeds: tenants resident from epoch 0.
+        joins: mid-run arrivals (``burst_tenants`` of them are NFT-mint
+            shaped; the rest are ordinary synthetic tenants).
+        leaves: mid-run departures.  Burst tenants always depart (their
+            leaves count toward this total); the remainder is drawn from the
+            resident fleet, never from quota-carrying feeds so the
+            deferred-then-executed path stays observable to the end.
+        horizon_epochs: epoch range churn events are scheduled within.
+        ops_per_feed: workload length of a resident tenant; arrivals get a
+            length proportional to the epochs they have left.
+        quota_feeds: resident tenants given ``max_ops_per_epoch`` (half the
+            epoch size, so deferral always triggers); the first of them also
+            gets a ``max_gas_per_epoch`` cap.
+    """
+
+    seed: int = 11
+    base_feeds: int = 8
+    joins: int = 4
+    leaves: int = 4
+    burst_tenants: int = 2
+    horizon_epochs: int = 10
+    epoch_size: int = 8
+    ops_per_feed: int = 48
+    quota_feeds: int = 1
+    preload_keys: int = 8
+    record_size_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.base_feeds <= 0:
+            raise ConfigurationError("base_feeds must be positive")
+        if self.horizon_epochs < 4:
+            raise ConfigurationError("horizon_epochs must be at least 4")
+        if self.burst_tenants > self.joins:
+            raise ConfigurationError("burst_tenants cannot exceed joins")
+        if self.burst_tenants > self.leaves:
+            raise ConfigurationError(
+                "every burst tenant departs, so leaves must be >= burst_tenants"
+            )
+        if self.quota_feeds > self.base_feeds:
+            raise ConfigurationError("quota_feeds cannot exceed base_feeds")
+        resident_leavers = self.leaves - self.burst_tenants
+        if resident_leavers > self.base_feeds - self.quota_feeds:
+            raise ConfigurationError(
+                "not enough unquota'd resident feeds to supply the requested leaves"
+            )
+
+    # -- tenant builders ------------------------------------------------------
+
+    def _config(self, rng: random.Random) -> GrubConfig:
+        return GrubConfig(
+            epoch_size=self.epoch_size,
+            algorithm=rng.choice(_ALGORITHM_POOL),
+            k=rng.choice((1, 2, 4)),
+        )
+
+    def _preload(self, prefix: str) -> List[KVRecord]:
+        return [
+            KVRecord.make(f"{prefix}-{index:05d}", bytes(self.record_size_bytes))
+            for index in range(self.preload_keys)
+        ]
+
+    def _synthetic_ops(
+        self, prefix: str, num_operations: int, rng: random.Random
+    ) -> List[Operation]:
+        return SyntheticWorkload(
+            read_write_ratio=float(rng.choice((1, 2, 4, 8))),
+            num_operations=num_operations,
+            num_keys=max(2, self.preload_keys // 2),
+            record_size_bytes=self.record_size_bytes,
+            key_prefix=prefix,
+            seed=rng.randrange(1, 1 << 30),
+        ).operations()
+
+    def _mint_burst_ops(self, prefix: str, rng: random.Random) -> List[Operation]:
+        """The NFT-mint shape: mint writes, then hot reads of the early tokens."""
+        mint_count = self.epoch_size + rng.randrange(self.epoch_size)
+        reads = 2 * mint_count
+        ops = [
+            Operation.write(
+                f"{prefix}-{index:04d}",
+                index.to_bytes(self.record_size_bytes, "big"),
+                sequence=index,
+            )
+            for index in range(mint_count)
+        ]
+        hot = max(1, mint_count // 4)
+        for _ in range(reads):
+            key = f"{prefix}-{rng.randrange(hot):04d}"
+            ops.append(
+                Operation.read(
+                    key, size_bytes=self.record_size_bytes, sequence=len(ops)
+                )
+            )
+        return ops
+
+    # -- schedule generation --------------------------------------------------
+
+    def generate(self) -> ChurnSchedule:
+        rng = random.Random(self.seed)
+        schedule = ChurnSchedule(epoch_size=self.epoch_size)
+
+        # Resident fleet; the first `quota_feeds` carry tight quotas.
+        for index in range(self.base_feeds):
+            feed_id = f"res-{index:02d}"
+            quota_ops = None
+            quota_gas = None
+            if index < self.quota_feeds:
+                quota_ops = max(1, self.epoch_size // 2)
+                if index == 0:
+                    # A loose gas cap on top: high enough to let several ops
+                    # through, low enough to bite on write-heavy epochs.
+                    quota_gas = 400_000
+            spec = FeedSpec(
+                feed_id=feed_id,
+                config=self._config(rng),
+                preload=self._preload(feed_id),
+                max_ops_per_epoch=quota_ops,
+                max_gas_per_epoch=quota_gas,
+            )
+            schedule.initial.append(
+                TenantJoin(
+                    at_epoch=0,
+                    spec=spec,
+                    operations=tuple(
+                        self._synthetic_ops(feed_id, self.ops_per_feed, rng)
+                    ),
+                )
+            )
+
+        # Mid-run arrivals: burst tenants first (each with a paired leave),
+        # then ordinary joiners.
+        last_join_epoch = max(1, self.horizon_epochs - 3)
+        for index in range(self.joins):
+            is_burst = index < self.burst_tenants
+            feed_id = f"mint-{index:02d}" if is_burst else f"join-{index:02d}"
+            at_epoch = rng.randint(1, last_join_epoch)
+            spec = FeedSpec(feed_id=feed_id, config=self._config(rng))
+            if is_burst:
+                operations = self._mint_burst_ops(feed_id, rng)
+                lifetime = rng.randint(2, 4)
+                schedule.leaves.append(
+                    TenantLeave(at_epoch=at_epoch + lifetime, feed_id=feed_id)
+                )
+            else:
+                epochs_left = max(2, self.horizon_epochs - at_epoch)
+                operations = self._synthetic_ops(
+                    feed_id, epochs_left * self.epoch_size, rng
+                )
+            schedule.joins.append(
+                TenantJoin(at_epoch=at_epoch, spec=spec, operations=tuple(operations))
+            )
+
+        # Resident departures, drawn without replacement from the unquota'd
+        # residents so quota feeds survive to demonstrate eventual execution.
+        candidates = [
+            join.feed_id
+            for join in schedule.initial[self.quota_feeds :]
+        ]
+        for feed_id in rng.sample(candidates, self.leaves - self.burst_tenants):
+            schedule.leaves.append(
+                TenantLeave(
+                    at_epoch=rng.randint(2, self.horizon_epochs - 1), feed_id=feed_id
+                )
+            )
+        return schedule

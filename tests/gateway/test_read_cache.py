@@ -193,3 +193,60 @@ class TestTenantChurn:
         assert cache.get("ghost", "k") is None
         assert cache.stats.misses == 1
         assert len(cache) == 0
+
+
+class TestSchedulerEvictionTeardown:
+    """Cache teardown through the fleet controller's eviction path."""
+
+    def _spec(self) -> FeedSpec:
+        return FeedSpec(
+            feed_id="alpha", config=GrubConfig(epoch_size=2, algorithm="always")
+        )
+
+    def _warming_ops(self, value: bytes):
+        return [
+            Operation.write("k", value),
+            Operation.write("pad", b"p"),
+            Operation.read("k"),
+            Operation.read("k"),
+        ]
+
+    def test_evicted_feeds_shard_is_dropped_and_stats_frozen(self):
+        registry = FeedRegistry()
+        registry.create_feed(self._spec())
+        cache = ReadCache()
+        scheduler = EpochScheduler(registry, read_cache=cache)
+        scheduler.run({"alpha": self._warming_ops(b"v1")})
+        assert len(cache) > 0
+        hits_before = cache.stats.hits
+        assert hits_before > 0
+
+        scheduler.evict("alpha", at_epoch=0)
+        scheduler.run({})
+
+        # Shard gone, per-feed counters reset, aggregate counters survive.
+        assert len(cache) == 0
+        assert cache.shard_stats("alpha").hits == 0
+        assert cache.stats.hits == hits_before
+        assert cache.stats.invalidations >= 1  # the dropped entries
+
+    def test_no_stale_reads_survive_readmission_of_same_feed_id(self):
+        registry = FeedRegistry()
+        registry.create_feed(self._spec())
+        cache = ReadCache()
+        scheduler = EpochScheduler(registry, read_cache=cache)
+        scheduler.run({"alpha": self._warming_ops(b"old-value")})
+        assert cache.get("alpha", "k") == b"old-value"
+
+        # Tenant leaves; a NEW tenant reuses the feed id in the next run with
+        # a different value under the same key — on the same gateway and cache.
+        scheduler.evict("alpha", at_epoch=0)
+        scheduler.run({})
+        registry.create_feed(self._spec())
+        fleet = scheduler.run({"alpha": self._warming_ops(b"new-value")})
+
+        # The re-admitted tenant's consumer observed its own value, never the
+        # predecessor's memo, and the cache now holds only the new value.
+        assert registry.get("alpha").consumer.last_value("k") == b"new-value"
+        assert cache.get("alpha", "k") == b"new-value"
+        assert fleet.feed("alpha").operations == 4

@@ -14,6 +14,10 @@ classmethod for a new backend.
 
 from __future__ import annotations
 
+import atexit
+import shutil
+import tempfile
+from pathlib import Path
 from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.storage.kvstore import InMemoryKVStore, KVStore
@@ -77,10 +81,49 @@ def _small_lsm() -> LSMStore:
     return LSMStore(config=LSMConfig(memtable_flush_bytes=256, write_ahead_log=False))
 
 
+def _persistent_lsm_config() -> LSMConfig:
+    """Persistent-mode tuning: small flushes so SSTables hit disk, WAL on so
+    unflushed writes survive a close/reopen."""
+    return LSMConfig(memtable_flush_bytes=256, write_ahead_log=True)
+
+
+#: Scratch directories handed out by :func:`_persistent_lsm`, removed at
+#: interpreter exit so repeated test runs do not litter the temp root.
+_SCRATCH_DIRS: List[Path] = []
+
+
+@atexit.register
+def _cleanup_scratch_dirs() -> None:
+    for directory in _SCRATCH_DIRS:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def _persistent_lsm() -> LSMStore:
+    """A disk-backed LSM in a fresh scratch directory.
+
+    Each call gets its own directory (pytest's per-test ``tmp_path`` cannot
+    reach a module-level factory), created under the system temp root and
+    removed at process exit; the conformance tests only ever write a few
+    hundred bytes per store.  Reopen the same directory with
+    ``LSMStore(directory=store.directory)`` to exercise recovery — see
+    ``TestLSMStorePersistence``.
+    """
+    directory = Path(tempfile.mkdtemp(prefix="grub-lsm-suite-"))
+    _SCRATCH_DIRS.append(directory)
+    return LSMStore(directory=directory, config=_persistent_lsm_config())
+
+
+def reopen_lsm(store: LSMStore) -> LSMStore:
+    """Simulate a process restart: a new store over the same directory."""
+    assert store.directory is not None, "only persistent stores can be reopened"
+    return LSMStore(directory=store.directory, config=store.config)
+
+
 #: name → factory, the backends every conformance test runs against.
 BACKENDS: List[Tuple[str, Callable[[], KVStore]]] = [
     ("inmemory", InMemoryKVStore),
     ("lsm", _small_lsm),
+    ("lsm-persistent", _persistent_lsm),
     ("memtable", MemTableKVAdapter),
 ]
 

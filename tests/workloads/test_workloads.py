@@ -262,3 +262,87 @@ class TestCharacterisation:
         # the same key or by the end of the trace.
         assert len(stats.reads_after_write) == stats.writes
         assert sum(stats.per_key_reads.values()) == stats.reads
+
+
+class TestFleetChurnWorkload:
+    def _generate(self, **overrides):
+        from repro.workloads.fleet_churn import FleetChurnWorkload
+
+        params = dict(
+            seed=7,
+            base_feeds=6,
+            joins=4,
+            leaves=4,
+            burst_tenants=2,
+            horizon_epochs=10,
+            epoch_size=8,
+            ops_per_feed=48,
+            quota_feeds=1,
+        )
+        params.update(overrides)
+        return FleetChurnWorkload(**params).generate()
+
+    def test_schedule_counts_match_parameters(self):
+        schedule = self._generate()
+        assert len(schedule.initial) == 6
+        assert len(schedule.joins) == 4
+        assert len(schedule.leaves) == 4
+        # Every burst tenant has a paired departure.
+        leaving = {leave.feed_id for leave in schedule.leaves}
+        assert {"mint-00", "mint-01"} <= leaving
+
+    def test_same_seed_is_reproducible(self):
+        first = self._generate()
+        second = self._generate()
+        assert first.admitted_op_counts() == second.admitted_op_counts()
+        assert first.departures == second.departures
+        for a, b in zip(first.initial, second.initial):
+            assert a.spec.feed_id == b.spec.feed_id
+            assert list(a.operations) == list(b.operations)
+
+    def test_different_seeds_differ(self):
+        first = self._generate(seed=7)
+        second = self._generate(seed=8)
+        ops_differ = any(
+            list(a.operations) != list(b.operations)
+            for a, b in zip(first.initial, second.initial)
+        )
+        assert ops_differ or first.departures != second.departures
+
+    def test_quota_feeds_carry_quotas_and_never_leave(self):
+        schedule = self._generate(quota_feeds=2)
+        quota_ids = schedule.quota_feed_ids()
+        assert len(quota_ids) == 2
+        specs = {join.feed_id: join.spec for join in schedule.initial}
+        for feed_id in quota_ids:
+            assert specs[feed_id].max_ops_per_epoch is not None
+        assert not (set(quota_ids) & set(schedule.departures))
+
+    def test_burst_tenants_are_mint_shaped(self):
+        schedule = self._generate()
+        mint = next(j for j in schedule.joins if j.feed_id == "mint-00")
+        ops = list(mint.operations)
+        writes = [op for op in ops if op.is_write]
+        reads = [op for op in ops if op.is_read]
+        # A mint burst: writes first, then a heavier read phase over the
+        # early (hot) tokens only.
+        assert ops[: len(writes)] == writes
+        assert len(reads) == 2 * len(writes)
+        hot = max(1, len(writes) // 4)
+        assert all(int(op.key.rsplit("-", 1)[1]) < hot for op in reads)
+
+    def test_departures_fall_inside_a_sane_epoch_range(self):
+        schedule = self._generate()
+        for leave in schedule.leaves:
+            assert 1 <= leave.at_epoch <= 14
+
+    def test_validation(self):
+        from repro.common.errors import ConfigurationError
+        from repro.workloads.fleet_churn import FleetChurnWorkload
+
+        with pytest.raises(ConfigurationError):
+            FleetChurnWorkload(burst_tenants=3, joins=2)
+        with pytest.raises(ConfigurationError):
+            FleetChurnWorkload(burst_tenants=2, joins=2, leaves=1)
+        with pytest.raises(ConfigurationError):
+            FleetChurnWorkload(base_feeds=2, leaves=4, joins=4, burst_tenants=0)
