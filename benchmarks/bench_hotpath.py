@@ -1,27 +1,37 @@
-"""Hot-path benchmark: worker scaling and serial throughput of the gateway.
+"""Hot-path benchmark: serial throughput and execution-backend scaling.
 
 Drives one 32-feed fleet (preloaded stores, mixed read/write synthetic
-workloads) through the parallel epoch engine, sweeping ``num_workers`` from 1
-to 8 at a fixed shard plan.  Reported per worker count: wall time, ops/sec,
-feed-layer gas/op and speedup versus the serial run.  Two hard checks:
+workloads) through the epoch engine, sweeping worker counts over the *thread*
+backend and lane counts over the *process* backend at a fixed shard plan.
+Reported per configuration: wall time, ops/sec, feed-layer gas/op and speedup
+versus the serial run.  Three hard checks:
 
-* **equivalence** — every parallel run's telemetry fingerprint and per-feed
-  gas bills must be bit-identical to the serial run's (the engine's core
-  guarantee); a violation exits non-zero, which is what the CI perf-smoke
+* **equivalence** — every thread and process run's telemetry fingerprint and
+  per-feed gas bills must be bit-identical to the serial run's (the engine's
+  core guarantee); a violation exits non-zero, which is what the CI perf-smoke
   job gates on;
 * **trajectory** — results are written to ``BENCH_hotpath.json`` so future
-  PRs have a recorded perf trajectory to beat.
+  PRs have a recorded perf trajectory to beat;
+* **regression** (``--check-regression FILE``) — the fresh serial ops/sec must
+  not drop more than ``--regression-tolerance`` (default 20%) below the serial
+  figure recorded in ``FILE``; the CI ``perf-regression`` job runs this
+  against the committed ``BENCH_hotpath.json``.
 
-A note on scaling: the engine parallelises each shard's off-chain work on a
-thread pool, so the measured speedup is bounded by the host — on a single
-hardware thread (or a GIL-bound CPython without free threading) parallel runs
-can only match the serial throughput, never multiply it; the recorded
-``host.cpus`` field says which regime produced the numbers.
+A note on scaling regimes: the *thread* backend is bounded by the GIL on
+CPython — it can only match serial throughput, never multiply it.  The
+*process* backend runs each shard's feeds in a separate worker process and is
+bounded by the host's CPUs instead.  Results therefore record both
+``host.cpus`` and ``host.effective_cpus`` (the scheduling affinity actually
+granted to this process — CI containers routinely advertise many CPUs while
+pinning the job to one), and every sweep record carries its
+``execution_mode``, so a flat speedup curve on a single-CPU host is read as
+"host had one CPU", not "parallelism doesn't help".
 
 Runs under pytest (the repo's benchmark harness) or standalone::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full sweep
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick    # <60s CI smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --workers auto
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.types import KVRecord, Operation
 from repro.core.config import GrubConfig
@@ -46,11 +56,44 @@ NUM_SHARDS = 8
 EPOCH_SIZE = 16
 FULL_WORKERS = (1, 2, 4, 8)
 QUICK_WORKERS = (1, 4, 8)
+FULL_PROCESS_LANES = (2, 4, 8)
+QUICK_PROCESS_LANES = (2,)
 FULL_OPS_PER_FEED = 256
 QUICK_OPS_PER_FEED = 96
 FULL_REPEATS = 3
 QUICK_REPEATS = 1
 PRELOAD_KEYS = 128
+
+
+def effective_cpus() -> int:
+    """CPUs this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def auto_worker_counts() -> Tuple[int, ...]:
+    """``--workers auto``: powers of two from 1 up to twice the affinity.
+
+    Always includes an oversubscribed point (2× the effective CPUs) so the
+    curve shows where scaling flattens rather than stopping at the knee.
+    """
+    cpus = effective_cpus()
+    counts = [1]
+    while counts[-1] < 2 * cpus:
+        counts.append(counts[-1] * 2)
+    return tuple(counts)
+
+
+def host_facts() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count(),
+        "effective_cpus": effective_cpus(),
+        "platform": platform.platform(),
+    }
 
 
 def build_workloads(ops_per_feed: int) -> Dict[str, List[Operation]]:
@@ -81,16 +124,22 @@ def build_registry() -> FeedRegistry:
 
 
 def run_configuration(
-    num_workers: int, workloads: Dict[str, List[Operation]], repeats: int
+    execution_mode: str,
+    num_workers: int,
+    workloads: Dict[str, List[Operation]],
+    repeats: int,
 ) -> dict:
-    """Run the fleet at one worker count; keep the best wall time of ``repeats``."""
+    """Run the fleet at one configuration; keep the best wall time of ``repeats``."""
     best: Optional[dict] = None
     fingerprint = None
     gas_bills = None
     for _ in range(repeats):
         registry = build_registry()
         scheduler = EpochScheduler(
-            registry, num_shards=NUM_SHARDS, num_workers=num_workers
+            registry,
+            num_shards=NUM_SHARDS,
+            num_workers=num_workers,
+            execution_mode=execution_mode,
         )
         fleet = scheduler.run(workloads)
         fingerprint = fleet.fingerprint()
@@ -99,6 +148,7 @@ def run_configuration(
             for feed_id in fleet.feeds
         }
         sample = {
+            "execution_mode": execution_mode,
             "num_workers": num_workers,
             "wall_seconds": round(fleet.wall_seconds, 4),
             "ops_per_sec": round(fleet.ops_per_second, 1),
@@ -113,20 +163,32 @@ def run_configuration(
     return best
 
 
-def run_sweep(worker_counts: Sequence[int], ops_per_feed: int, repeats: int) -> dict:
+def run_sweep(
+    worker_counts: Sequence[int],
+    process_lanes: Sequence[int],
+    ops_per_feed: int,
+    repeats: int,
+) -> dict:
     workloads = build_workloads(ops_per_feed)
+    configurations: List[Tuple[str, int]] = [("serial", 1)]
+    configurations.extend(
+        ("thread", workers) for workers in worker_counts if workers > 1
+    )
+    configurations.extend(("process", lanes) for lanes in process_lanes)
     results = [
-        run_configuration(workers, workloads, repeats) for workers in worker_counts
+        run_configuration(mode, workers, workloads, repeats)
+        for mode, workers in configurations
     ]
 
     serial = results[0]
-    assert serial["num_workers"] == 1, "sweep must start with the serial run"
+    assert serial["execution_mode"] == "serial", "sweep must start with the serial run"
     violations = []
     for result in results[1:]:
+        label = f"{result['execution_mode']}/{result['num_workers']}"
         if result["fingerprint"] != serial["fingerprint"]:
-            violations.append(f"num_workers={result['num_workers']}: telemetry differs")
+            violations.append(f"{label}: telemetry differs")
         if result["gas_bills"] != serial["gas_bills"]:
-            violations.append(f"num_workers={result['num_workers']}: gas bills differ")
+            violations.append(f"{label}: gas bills differ")
     if violations:
         raise AssertionError(
             "parallel-vs-serial equivalence violated: " + "; ".join(violations)
@@ -138,6 +200,7 @@ def run_sweep(worker_counts: Sequence[int], ops_per_feed: int, repeats: int) -> 
         speedup = serial["wall_seconds"] / result["wall_seconds"]
         rows.append(
             (
+                result["execution_mode"],
                 result["num_workers"],
                 f"{result['wall_seconds']:.3f}s",
                 format_rate(result["ops_per_sec"], "ops/s"),
@@ -148,6 +211,7 @@ def run_sweep(worker_counts: Sequence[int], ops_per_feed: int, repeats: int) -> 
         )
         sweep_records.append(
             {
+                "execution_mode": result["execution_mode"],
                 "num_workers": result["num_workers"],
                 "wall_seconds": result["wall_seconds"],
                 "ops_per_sec": result["ops_per_sec"],
@@ -156,21 +220,29 @@ def run_sweep(worker_counts: Sequence[int], ops_per_feed: int, repeats: int) -> 
                 "cache_hit_rate": result["cache_hit_rate"],
             }
         )
+    host = host_facts()
     print()
     print(
         format_table(
-            ["workers", "wall", "throughput", "speedup", "gas/op", "cache hit"],
+            ["mode", "workers", "wall", "throughput", "speedup", "gas/op", "cache hit"],
             rows,
             title=(
-                f"Parallel epoch engine — {NUM_FEEDS} feeds, "
-                f"{ops_per_feed} ops/feed, {NUM_SHARDS} shards"
+                f"Epoch engine backends — {NUM_FEEDS} feeds, "
+                f"{ops_per_feed} ops/feed, {NUM_SHARDS} shards, "
+                f"{host['effective_cpus']} effective CPU(s)"
             ),
         )
     )
     print(
         "equivalence: telemetry fingerprints and per-feed gas bills identical "
-        "across all worker counts"
+        "across all execution modes and worker counts"
     )
+    if host["effective_cpus"] == 1:
+        print(
+            "note: this host granted ONE effective CPU — no backend can show "
+            "speedup > 1 here; do not read the flat curve as 'parallelism "
+            "does not help'"
+        )
     return {
         "benchmark": "hotpath",
         "source": "benchmarks/bench_hotpath.py",
@@ -182,20 +254,35 @@ def run_sweep(worker_counts: Sequence[int], ops_per_feed: int, repeats: int) -> 
             "preload_keys_per_feed": PRELOAD_KEYS,
             "repeats": repeats,
             "worker_counts": list(worker_counts),
+            "process_lanes": list(process_lanes),
         },
-        "host": {
-            "python": platform.python_version(),
-            "implementation": platform.python_implementation(),
-            "cpus": os.cpu_count(),
-            "platform": platform.platform(),
-        },
-        "equivalence": "bit-identical across worker counts",
+        "host": host,
+        "equivalence": "bit-identical across execution modes and worker counts",
         "sweep": sweep_records,
         "serial": {
             "ops_per_sec": serial["ops_per_sec"],
             "gas_per_op": serial["gas_per_op"],
         },
     }
+
+
+def check_regression(payload: dict, committed_path: Path, tolerance: float) -> None:
+    """Fail (raise) if serial ops/sec regressed beyond ``tolerance``."""
+    committed = json.loads(committed_path.read_text())
+    committed_serial = committed["serial"]["ops_per_sec"]
+    fresh_serial = payload["serial"]["ops_per_sec"]
+    floor = committed_serial * (1.0 - tolerance)
+    print(
+        f"perf-regression check: fresh serial {fresh_serial:,.0f} ops/s vs "
+        f"committed {committed_serial:,.0f} ops/s "
+        f"(floor {floor:,.0f} at {tolerance:.0%} tolerance)"
+    )
+    if fresh_serial < floor:
+        raise AssertionError(
+            f"serial throughput regressed: {fresh_serial:,.0f} ops/s is more "
+            f"than {tolerance:.0%} below the committed "
+            f"{committed_serial:,.0f} ops/s"
+        )
 
 
 def write_results(payload: dict, output: Path) -> None:
@@ -207,12 +294,21 @@ def test_hotpath(benchmark):
     """Pytest entry: quick sweep under the benchmark harness."""
     quick = os.environ.get("GRUB_BENCH_SCALE") == "quick"
     workers = QUICK_WORKERS if quick else FULL_WORKERS
+    lanes = QUICK_PROCESS_LANES if quick else FULL_PROCESS_LANES
     ops = QUICK_OPS_PER_FEED if quick else FULL_OPS_PER_FEED
     repeats = QUICK_REPEATS if quick else FULL_REPEATS
     payload = benchmark.pedantic(
-        run_sweep, args=(workers, ops, repeats), rounds=1, iterations=1
+        run_sweep, args=(workers, lanes, ops, repeats), rounds=1, iterations=1
     )
     assert payload["sweep"], "sweep produced no records"
+
+
+def _parse_workers(values: Optional[List[str]], default: Sequence[int]) -> Tuple[int, ...]:
+    if not values:
+        return tuple(default)
+    if len(values) == 1 and values[0] == "auto":
+        return auto_worker_counts()
+    return tuple(int(value) for value in values)
 
 
 def main() -> int:
@@ -220,20 +316,43 @@ def main() -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small sweep for CI (<60s): workers 1/4/8 at 96 ops/feed, 1 repeat",
+        help="small sweep for CI (<60s): fewer worker counts, 96 ops/feed, 1 repeat",
     )
     parser.add_argument(
         "--workers",
+        nargs="*",
+        default=None,
+        help="thread worker counts to sweep, or 'auto' to derive the curve "
+        "from the host's effective CPUs (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--process-lanes",
         type=int,
         nargs="*",
         default=None,
-        help="worker counts to sweep (default: 1 2 4 8)",
+        help="process-backend lane counts to sweep (default: 2 4 8; pass "
+        "nothing after the flag to skip the process sweep)",
     )
     parser.add_argument(
         "--ops", type=int, default=None, help="operations per feed"
     )
     parser.add_argument(
         "--repeats", type=int, default=None, help="repeats per configuration (best kept)"
+    )
+    parser.add_argument(
+        "--check-regression",
+        type=Path,
+        default=None,
+        metavar="COMMITTED_JSON",
+        help="compare the fresh serial ops/sec against this recorded "
+        "BENCH_hotpath.json and exit non-zero on a regression",
+    )
+    parser.add_argument(
+        "--regression-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below the committed serial ops/sec "
+        "before --check-regression fails (default 0.2)",
     )
     parser.add_argument(
         "--output",
@@ -243,17 +362,21 @@ def main() -> int:
     )
     args = parser.parse_args()
     if args.quick:
-        workers: Sequence[int] = tuple(args.workers) if args.workers else QUICK_WORKERS
+        workers = _parse_workers(args.workers, QUICK_WORKERS)
+        lanes = tuple(args.process_lanes) if args.process_lanes is not None else QUICK_PROCESS_LANES
         ops = args.ops or QUICK_OPS_PER_FEED
         repeats = args.repeats or QUICK_REPEATS
     else:
-        workers = tuple(args.workers) if args.workers else FULL_WORKERS
+        workers = _parse_workers(args.workers, FULL_WORKERS)
+        lanes = tuple(args.process_lanes) if args.process_lanes is not None else FULL_PROCESS_LANES
         ops = args.ops or FULL_OPS_PER_FEED
         repeats = args.repeats or FULL_REPEATS
     started = time.perf_counter()
-    payload = run_sweep(workers, ops, repeats)
+    payload = run_sweep(workers, lanes, ops, repeats)
     payload["config"]["quick"] = bool(args.quick)
     write_results(payload, args.output)
+    if args.check_regression is not None:
+        check_regression(payload, args.check_regression, args.regression_tolerance)
     print(f"sweep completed in {time.perf_counter() - started:.1f}s")
     return 0
 

@@ -10,10 +10,36 @@ through its meter, and off-chain parties can call them for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import IntegrityError
 from repro.common.hashing import EMPTY_DIGEST, hash_pair, keccak
+
+#: Entries kept by the interior-node hash memo.  Epoch workloads re-hash the
+#: same (left, right) digest pairs constantly — a hot record delivered every
+#: epoch re-verifies the same authentication path until the tree changes, and
+#: batched path recomputation re-derives interior nodes shared between
+#: epochs — so the parent digest is computed once and replayed from the memo.
+PAIR_MEMO_SIZE = 1 << 17
+
+
+@lru_cache(maxsize=PAIR_MEMO_SIZE)
+def _hash_pair_memo(left: bytes, right: bytes) -> bytes:
+    """Memoized :func:`~repro.common.hashing.hash_pair` (a pure function).
+
+    Correctness does not depend on the memo: entries never go stale because
+    the digest of a pair is immutable, so eviction (or clearing) only costs
+    recomputation.  Gas accounting is untouched — callers charge per hash
+    *application*, not per SHA-256 actually executed, exactly as an on-chain
+    verifier would charge for every step of the path walk.
+    """
+    return hash_pair(left, right)
+
+
+def clear_pair_memo() -> None:
+    """Drop every memoized interior-node digest (tests compare cold paths)."""
+    _hash_pair_memo.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -92,7 +118,8 @@ class MerkleTree:
         while len(levels[-1]) > 1:
             current = levels[-1]
             parent = [
-                hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)
+                _hash_pair_memo(current[i], current[i + 1])
+                for i in range(0, len(current), 2)
             ]
             levels.append(parent)
         self._levels = levels
@@ -212,7 +239,7 @@ class MerkleTree:
                 if right_index < len(self._levels[depth])
                 else EMPTY_DIGEST
             )
-            self._levels[depth + 1][parent_index] = hash_pair(left, right)
+            self._levels[depth + 1][parent_index] = _hash_pair_memo(left, right)
             position = parent_index
         return self.root
 
@@ -264,7 +291,7 @@ class MerkleTree:
                     if right_index < len(level)
                     else EMPTY_DIGEST
                 )
-                parent_level[parent] = hash_pair(left, right)
+                parent_level[parent] = _hash_pair_memo(left, right)
                 next_parents.add(parent >> 1)
             parents = next_parents
         return self.root
@@ -319,9 +346,9 @@ def recompute_root_from_proof(
         if charge_hash is not None:
             charge_hash(2)
         if node.is_left:
-            current = hash_pair(node.digest, current)
+            current = _hash_pair_memo(node.digest, current)
         else:
-            current = hash_pair(current, node.digest)
+            current = _hash_pair_memo(current, node.digest)
     return current
 
 

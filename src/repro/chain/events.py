@@ -60,6 +60,28 @@ class EventLog:
         self._events.append(event)
         return event
 
+    def append_event(
+        self, event: LogEvent, block_number: int, transaction_index: int
+    ) -> LogEvent:
+        """Append a context-buffered event, re-stamped with its block position.
+
+        Unlike :meth:`append` the payload dict is *shared* with the buffered
+        event rather than copied: the payload was built privately by
+        :meth:`~repro.chain.contract.Contract.emit` and every reader treats it
+        as immutable, so the second copy (one per event, on the hot read path)
+        bought nothing.
+        """
+        stamped = LogEvent(
+            contract=event.contract,
+            name=event.name,
+            payload=event.payload,
+            block_number=block_number,
+            transaction_index=transaction_index,
+            log_index=len(self._events),
+        )
+        self._events.append(stamped)
+        return stamped
+
     def __len__(self) -> int:
         return len(self._events)
 

@@ -311,6 +311,71 @@ def split_transaction_cost(
     return shares
 
 
+def ledger_to_wire(ledger: GasLedger) -> dict:
+    """Plain-data form of a ledger (the process backend's wire contract).
+
+    A ledger *could* be pickled whole, but the explicit snapshot keeps the
+    process boundary inspectable and intentional: exactly the counters cross,
+    never incidental object state, and :func:`ledger_delta_wire` can compute
+    zero-omitting deltas against it (merging a delta then creates exactly the
+    entries direct charging would have).  Nothing is filtered or reordered:
+    ``ledger_from_wire(ledger_to_wire(l))`` reproduces every counter.
+    """
+    return {
+        "total": ledger.total,
+        "refunded": ledger.refunded,
+        "by_category": dict(ledger.by_category),
+        "by_layer": dict(ledger.by_layer),
+        "by_scope": [
+            (scope, layer, amount)
+            for (scope, layer), amount in ledger.by_scope.items()
+        ],
+    }
+
+
+def ledger_from_wire(payload: Mapping) -> GasLedger:
+    """Rebuild a :class:`GasLedger` from :func:`ledger_to_wire` output."""
+    ledger = GasLedger()
+    ledger.total = payload["total"]
+    ledger.refunded = payload["refunded"]
+    ledger.by_category.update(payload["by_category"])
+    ledger.by_layer.update(payload["by_layer"])
+    for scope, layer, amount in payload["by_scope"]:
+        ledger.by_scope[(scope, layer)] = amount
+    return ledger
+
+
+def ledger_delta_wire(before: Mapping, ledger: GasLedger) -> dict:
+    """Exact charge delta between a :func:`ledger_to_wire` snapshot and now.
+
+    Returned in wire form; keys whose delta is zero are omitted so merging the
+    delta into another ledger creates exactly the entries the charges would
+    have created had they been applied there directly.
+    """
+    before_scope = {
+        (scope, layer): amount for scope, layer, amount in before["by_scope"]
+    }
+    return {
+        "total": ledger.total - before["total"],
+        "refunded": ledger.refunded - before["refunded"],
+        "by_category": {
+            category: amount - before["by_category"].get(category, 0)
+            for category, amount in ledger.by_category.items()
+            if amount != before["by_category"].get(category, 0)
+        },
+        "by_layer": {
+            layer: amount - before["by_layer"].get(layer, 0)
+            for layer, amount in ledger.by_layer.items()
+            if amount != before["by_layer"].get(layer, 0)
+        },
+        "by_scope": [
+            (scope, layer, amount - before_scope.get((scope, layer), 0))
+            for (scope, layer), amount in ledger.by_scope.items()
+            if amount != before_scope.get((scope, layer), 0)
+        ],
+    }
+
+
 def summarise_categories(ledgers: Iterable[GasLedger]) -> Dict[str, int]:
     """Aggregate the per-category totals of several ledgers (for reports)."""
     combined: Dict[str, int] = defaultdict(int)

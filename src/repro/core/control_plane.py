@@ -51,6 +51,11 @@ class WorkloadMonitor:
     observed_reads: int = 0
     observed_writes: int = 0
     _cursor: Optional[CallHistoryCursor] = None
+    #: Reusable READ operations keyed by data key.  The monitor materialises
+    #: one :class:`Operation` per observed gGet; hot keys are read thousands
+    #: of times and the operation object is immutable (the algorithms consult
+    #: only ``kind``/``key``), so one instance per key serves the whole run.
+    _read_ops: Dict[str, Operation] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self._cursor = self.storage_manager.open_history_cursor()
@@ -67,13 +72,15 @@ class WorkloadMonitor:
         Returns ``(position, Operation)`` pairs where ``position`` is the
         call's absolute index in the chain's native invocation log.
         """
-        reads = [
-            (
-                position,
-                Operation(kind=OperationKind.READ, key=call.key, sequence=position),
-            )
-            for position, call in self._cursor.drain()
-        ]
+        read_ops = self._read_ops
+        reads = []
+        for position, call in self._cursor.drain():
+            operation = read_ops.get(call.key)
+            if operation is None:
+                operation = read_ops[call.key] = Operation(
+                    kind=OperationKind.READ, key=call.key
+                )
+            reads.append((position, operation))
         self.observed_reads += len(reads)
         return reads
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from repro.common.errors import ConfigurationError
-from repro.common.types import Operation, ReplicationState
+from repro.common.types import Operation, OperationKind, ReplicationState
 from repro.core.decision.base import Decision, DecisionAlgorithm
 
 
@@ -35,7 +35,9 @@ class MemorylessAlgorithm(DecisionAlgorithm):
     def observe(self, operations: Iterable[Operation]) -> List[Decision]:
         changed: List[Decision] = []
         for op in operations:
-            if op.is_write:
+            # `kind is WRITE` inlines the is_write property; this loop sees
+            # every operation of every epoch's federated trace.
+            if op.kind is OperationKind.WRITE:
                 self._counters[op.key] = 0
                 self._set_state(op.key, ReplicationState.NOT_REPLICATED, changed)
             else:

@@ -116,6 +116,7 @@ class GrubSystem:
         chain: Optional[Blockchain] = None,
         feed_id: Optional[str] = None,
         gateway: Optional[str] = None,
+        sp_store_backing=None,
     ) -> None:
         self.config = config or GrubConfig()
         self.feed_id = feed_id
@@ -160,7 +161,14 @@ class GrubSystem:
         else:
             self.consumer = consumer_factory(self.storage_manager.address)
         self.chain.deploy(self.consumer)
-        self.sp_store = AuthenticatedKVStore()
+        # The SP's primary store mirrors whatever KV backend the deployment
+        # selects (the paper's "any off-chain storage service supporting KV
+        # storage"): in-memory by default, or e.g. an LSM tree selected by the
+        # gateway's ``FeedSpec(store_backend="lsm", store_directory=...)``.
+        if sp_store_backing is not None:
+            self.sp_store = AuthenticatedKVStore(backing=sp_store_backing)
+        else:
+            self.sp_store = AuthenticatedKVStore()
         self.service_provider = ServiceProvider(
             address=f"{prefix}storage-provider",
             chain=self.chain,

@@ -17,13 +17,19 @@ storage-manager contract).  This package turns that into a hosted service:
   belong to;
 * :mod:`repro.gateway.scheduler` — the :class:`EpochScheduler`, an elastic
   parallel epoch engine: each shard's off-chain work (operation driving,
-  proof generation, epoch-update preparation) runs concurrently on a
-  ``num_workers`` thread pool, settlement lands in a deterministic merge
-  phase (fixed shard order), one batched deliver plus one grouped update
-  settles per shard in its own block — a parallel run is bit-identical to a
-  serial one — and tenants join (:meth:`EpochScheduler.admit`) and leave
-  (:meth:`EpochScheduler.evict`) at epoch boundaries, with per-tenant
-  ops/gas quotas deferring over-quota operations to later epochs;
+  proof generation, epoch-update preparation) runs on a pluggable execution
+  backend (``execution_mode="serial" | "thread" | "process"``), settlement
+  lands in a deterministic merge phase (fixed shard order), one batched
+  deliver plus one grouped update settles per shard in its own block — every
+  backend is bit-identical to serial — and tenants join
+  (:meth:`EpochScheduler.admit`) and leave (:meth:`EpochScheduler.evict`)
+  at epoch boundaries, with per-tenant ops/gas quotas deferring over-quota
+  operations to later epochs;
+* :mod:`repro.gateway.executor` — the backends themselves: the shared
+  per-shard phase logic every mode runs, plus the :class:`ProcessEngine`
+  (shards pinned to persistent worker processes hosting full feed mirrors,
+  only per-epoch deltas crossing the process boundary) that gives the
+  engine true multicore scaling where CPython's GIL caps the thread pool;
 * :mod:`repro.gateway.planner` — shard planning strategies: the fixed
   :class:`RoundRobinPlanner` and the :class:`GasAwareShardPlanner`, which
   EWMA-estimates per-feed epoch gas from trailing telemetry and bin-packs
@@ -54,6 +60,7 @@ Quickstart::
 """
 
 from repro.gateway.cache import ReadCache
+from repro.gateway.executor import EXECUTION_MODES, ProcessEngine, ShardEnvironment
 from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
 from repro.gateway.planner import GasAwareShardPlanner, RoundRobinPlanner, ShardPlanner
 from repro.gateway.registry import FeedHandle, FeedRegistry, FeedSpec
@@ -64,6 +71,7 @@ from repro.gateway.watchdog import SharedWatchdog
 __all__ = [
     "Admission",
     "DeliverGroup",
+    "EXECUTION_MODES",
     "EpochScheduler",
     "Eviction",
     "FeedHandle",
@@ -73,8 +81,10 @@ __all__ = [
     "FleetTelemetry",
     "GasAwareShardPlanner",
     "GatewayRouterContract",
+    "ProcessEngine",
     "ReadCache",
     "RoundRobinPlanner",
+    "ShardEnvironment",
     "ShardPlanner",
     "SharedWatchdog",
     "UpdateGroup",

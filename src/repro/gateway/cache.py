@@ -158,6 +158,26 @@ class ReadCache:
             shard.stats.invalidations += 1
         return removed
 
+    def install_shard(
+        self, feed_id: str, entries, stats: Optional[CacheStats] = None
+    ) -> None:
+        """Replace one feed's shard with externally computed contents.
+
+        The process execution backend runs each feed's cache shard inside the
+        worker process that owns the feed; at run end the worker ships the
+        shard back — ``entries`` in LRU order (oldest first) plus its
+        counters — so the main cache ends up exactly as a serial run would
+        have left it.
+        """
+        shard = _FeedShard()
+        for key, value in entries:
+            shard.entries[key] = value
+        if stats is not None:
+            shard.stats = stats
+        # Overwrite without retiring: the installed counters already cover
+        # everything the replaced (main-side, idle) shard would contribute.
+        self._shards[feed_id] = shard
+
     def invalidate_feed(self, feed_id: str) -> int:
         """Drop one feed's whole shard (the feed was removed).
 

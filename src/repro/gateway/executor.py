@@ -1,0 +1,819 @@
+"""Execution backends for the epoch engine: shared phase logic + process pool.
+
+The :class:`~repro.gateway.scheduler.EpochScheduler` orchestrates epochs; this
+module owns *how a shard's work actually executes*.  It has two halves:
+
+**Shared phase logic.**  The per-shard phase bodies — driving a shard's
+operations (cache front, quotas, deferral), building deliver groups, preparing
+update groups, warming the cache, settling a feed's epoch accounting — are
+plain functions over a :class:`ShardEnvironment` (registry + cache + queues +
+telemetry + dirty-key sets).  The scheduler's serial and thread backends call
+them against the fleet-wide environment on the main process; the process
+backend calls the very same functions inside worker processes against
+worker-local environments.  One implementation, three execution modes, which
+is what makes the bit-identical guarantee a property of the code path rather
+than a property of careful duplication.
+
+**Process backend.**  CPython's GIL means the thread backend can only overlap
+the hash/storage work of one interpreter; on a multicore host it never
+multiplies throughput (``BENCH_hotpath.json`` records speedup ≈ 1× however
+many threads run).  :class:`ProcessEngine` instead ships each shard's epoch
+work to a persistent pool of long-lived worker processes:
+
+* every worker **lane** is a single-process :class:`ProcessPoolExecutor`;
+  shards are pinned to lanes (``shard_index % num_lanes``), so the worker-side
+  state of a shard — its feeds' contracts on a worker-local chain, SP stores,
+  control planes, cache shards, telemetry rows, workload queues — persists
+  across epochs and only *per-epoch deltas* cross the process boundary;
+* per epoch, a lane receives one tiny :class:`ShardTask` (epoch index, epoch
+  size, the main chain's current height) and returns one
+  :class:`ShardEpochResult` per shard: the driving phase's
+  :class:`~repro.chain.chain.ExecutionBuffer` in wire form, plus the shard's
+  settlement transactions *pre-executed* against the worker's mirror of the
+  shard's contracts (:class:`SettlementResult`: gas used, receipt outcome,
+  emitted events, exact ledger delta);
+* the main process merges results in **fixed shard order** — absorb every
+  drive buffer, then mine one recorded block per shard deliver, then one per
+  shard update (:meth:`~repro.chain.chain.Blockchain.mine_recorded_block`) —
+  reproducing the serial merge exactly, so fingerprints, per-feed gas bills
+  and chain state are bit-identical to a serial run;
+* at run end the workers ship their final feed state back
+  (:class:`FeedStateResult`) and the engine folds it into the main registry's
+  mirrors, so post-run inspection (contract storage, roots, replica counts,
+  reports, cache contents) sees exactly what a serial run would have left.
+
+Worker processes rebuild their feeds from the :class:`FeedSpec`s (pickled to
+the worker once, at start), so the construction is deterministic and identical
+to the main registry's own mirrors.  Constraints the backend enforces rather
+than silently mis-handling: no tenant churn (shard pinning needs a static
+fleet), a stable shard plan (round-robin; a gas-aware plan would re-shard
+mid-run), and memory-backed SP stores (two processes must not open one LSM
+directory).
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.chain import ChainParameters, ExecutionBuffer, buffer_from_wire
+from repro.chain.gas import (
+    GasSchedule,
+    LAYER_APPLICATION,
+    LAYER_FEED,
+    ledger_delta_wire,
+    ledger_from_wire,
+    ledger_to_wire,
+)
+from repro.chain.transaction import Transaction
+from repro.common.errors import ConfigurationError, ReproError
+from repro.common.types import EpochSummary, Operation, OperationKind, ReplicationState
+from repro.core.grub import RunReport
+from repro.gateway.cache import CacheStats, ReadCache
+from repro.gateway.metrics import FeedTelemetry
+from repro.gateway.registry import FeedRegistry, FeedSpec
+from repro.gateway.router import (
+    DeliverGroup,
+    UpdateGroup,
+    scope_weights_for_deliver,
+    scope_weights_for_update,
+)
+
+#: Externally-owned account the gateway runtime submits batched transactions
+#: from (defined here so the worker side needs no scheduler import).
+GATEWAY_OPERATOR = "gateway-operator"
+
+#: The scheduler's execution backends.
+EXECUTION_MODES = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------------
+# Shared phase logic (serial, thread and process backends all run this)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardEnvironment:
+    """Everything the shard phases mutate, owned by exactly one interpreter.
+
+    The scheduler builds one for the whole fleet (serial/thread modes); each
+    worker process builds one for the feeds of its pinned shards (process
+    mode).  Phases only ever touch entries for the feeds they were handed, so
+    a worker's environment never needs entries for other lanes' feeds.
+    """
+
+    registry: FeedRegistry
+    cache: Optional[ReadCache]
+    dirty: Dict[str, set] = field(default_factory=dict)
+    queues: Dict[str, Deque[Operation]] = field(default_factory=dict)
+    feeds: Dict[str, FeedTelemetry] = field(default_factory=dict)
+
+
+def drive_shard(
+    env: ShardEnvironment,
+    shard: Sequence[str],
+    epoch: int,
+    epoch_size: int,
+) -> Tuple[ExecutionBuffer, Dict[str, EpochSummary]]:
+    """Phase 1: drive every feed of one shard through its epoch slice.
+
+    Chain side effects land in the returned isolation buffer for the ordered
+    merge.  Each feed consumes from the head of its own queue — up to
+    ``epoch_size`` operations, capped by ``max_ops_per_epoch``, cut short once
+    ``max_gas_per_epoch`` is reached (checked after each operation against the
+    feed's scoped gas in this shard's buffer).  Whatever the epoch could not
+    take stays queued and is counted as deferred.
+
+    The loop is deliberately flat: per-feed attribute lookups are hoisted out
+    of the per-operation path (this is the scheduler's hottest loop), and the
+    read route — cache probe, miss drive, replica memoisation — is inlined
+    rather than dispatched per operation.
+    """
+    registry = env.registry
+    chain = registry.chain
+    cache = env.cache
+    shard_summaries: Dict[str, EpochSummary] = {}
+    with chain.isolated_execution() as buffer:
+        by_scope = buffer.ledger.by_scope
+        for feed_id in shard:
+            handle = registry.get(feed_id)
+            telemetry = env.feeds[feed_id]
+            queue = env.queues[feed_id]
+            spec = handle.spec
+            system = handle.system
+            report = handle.report
+            planned = min(len(queue), epoch_size)
+            take = planned
+            if spec.max_ops_per_epoch is not None:
+                take = min(take, spec.max_ops_per_epoch)
+            summary = system.begin_epoch(epoch, take)
+            shard_summaries[feed_id] = summary
+            executed = 0
+            gas_cap = spec.max_gas_per_epoch
+            popleft = queue.popleft
+            drive_op = system.drive_operation
+            dirty = env.dirty[feed_id]
+            replica_of = handle.storage_manager.replica_of
+            for _ in range(take):
+                operation = popleft()
+                kind = operation.kind
+                if cache is not None and kind is OperationKind.READ:
+                    key = operation.key
+                    if cache.get(feed_id, key) is not None:
+                        # Served from the gateway's memo of verified chain
+                        # state: no on-chain call, no gas, no trace entry.
+                        telemetry.cache_hits += 1
+                        summary.reads += 1
+                        report.reads += 1
+                        report.operations += 1
+                    else:
+                        telemetry.cache_misses += 1
+                        drive_op(operation, summary, report)
+                        replica = replica_of(key)
+                        if replica is not None and key not in dirty:
+                            # Served by a verified on-chain replica with no
+                            # buffered write about to supersede it: memoise.
+                            cache.put(feed_id, key, replica)
+                else:
+                    if kind is OperationKind.WRITE and cache is not None:
+                        cache.invalidate(feed_id, operation.key)
+                        dirty.add(operation.key)
+                    drive_op(operation, summary, report)
+                executed += 1
+                if (
+                    gas_cap is not None
+                    and executed < take
+                    # O(1) per-op: the feed's two layer buckets, not a scan
+                    # of every scope in the shard buffer.
+                    and by_scope.get((feed_id, LAYER_FEED), 0)
+                    + by_scope.get((feed_id, LAYER_APPLICATION), 0)
+                    >= gas_cap
+                ):
+                    break
+            summary.operations = executed
+            deferred = planned - executed
+            if deferred:
+                telemetry.deferred_ops += deferred
+    return buffer, shard_summaries
+
+
+def build_deliver_groups(
+    registry: FeedRegistry, shard: Sequence[str]
+) -> List[DeliverGroup]:
+    """Phase 2 (build): drain one shard's pending requests into deliver groups
+    (record lookups plus batched proof generation, no chain I/O)."""
+    groups: List[DeliverGroup] = []
+    for feed_id in shard:
+        handle = registry.get(feed_id)
+        items = handle.service_provider.drain_pending_items()
+        if not items:
+            continue
+        groups.append(
+            DeliverGroup(
+                feed_id=feed_id,
+                manager=handle.storage_manager.address,
+                items=items,
+            )
+        )
+    return groups
+
+
+def prepare_update_groups(
+    registry: FeedRegistry, shard: Sequence[str]
+) -> Tuple[List[UpdateGroup], Dict[str, Dict[str, ReplicationState]]]:
+    """Phase 3 (build): run one shard's control planes and ADS updates,
+    returning the prepared update groups plus per-feed transitions."""
+    groups: List[UpdateGroup] = []
+    shard_transitions: Dict[str, Dict[str, ReplicationState]] = {}
+    for feed_id in shard:
+        handle = registry.get(feed_id)
+        prepared = handle.data_owner.prepare_epoch_update()
+        shard_transitions[feed_id] = prepared.transitions
+        if not prepared.has_payload:
+            continue
+        assert prepared.signed_root is not None
+        handle.data_owner.note_epoch_submitted()
+        groups.append(
+            UpdateGroup(
+                feed_id=feed_id,
+                manager=handle.storage_manager.address,
+                entries=prepared.entries,
+                digest=prepared.signed_root.root,
+            )
+        )
+    return groups, shard_transitions
+
+
+def deliver_transaction(router_address: str, groups: List[DeliverGroup]) -> Transaction:
+    """The batched cross-feed deliver transaction for one shard's groups."""
+    return Transaction(
+        sender=GATEWAY_OPERATOR,
+        contract=router_address,
+        function="deliver_batch",
+        args={"groups": groups},
+        calldata_bytes=sum(group.calldata_bytes for group in groups),
+        layer=LAYER_FEED,
+        scopes=scope_weights_for_deliver(groups),
+    )
+
+
+def update_transaction(router_address: str, groups: List[UpdateGroup]) -> Transaction:
+    """The grouped cross-feed update transaction for one shard's groups."""
+    return Transaction(
+        sender=GATEWAY_OPERATOR,
+        contract=router_address,
+        function="update_batch",
+        args={"groups": groups},
+        calldata_bytes=sum(group.calldata_bytes for group in groups),
+        layer=LAYER_FEED,
+        scopes=scope_weights_for_update(groups),
+    )
+
+
+def warm_cache_from_deliveries(
+    env: ShardEnvironment, groups: Sequence[DeliverGroup]
+) -> None:
+    """Memoise records the deliver batches just verified *and* replicated.
+
+    Once the chain has verified a delivered record's proof and stored it as a
+    replica, its value is public replicated state — exactly what the cache
+    serves — so it is memoised immediately instead of waiting for the first
+    post-deliver read.  Keys written during the current epoch are skipped
+    (their replica is about to be superseded by the pending epoch update).
+    """
+    cache = env.cache
+    if cache is None:
+        return
+    for group in groups:
+        dirty = env.dirty.get(group.feed_id, ())
+        for item in group.items:
+            if item.replicate and item.key not in dirty:
+                cache.put(group.feed_id, item.key, item.value)
+
+
+def settle_feed_epoch(
+    env: ShardEnvironment,
+    feed_id: str,
+    summary: EpochSummary,
+    *,
+    deliveries: int,
+    update_transactions: int,
+    transitions: Dict[str, ReplicationState],
+    gas_before: Tuple[int, int],
+) -> int:
+    """Phase 4 (per feed): settle epoch accounting and cache invalidation.
+
+    Applies replication-keyed cache invalidation, clears the feed's dirty-key
+    set (the epoch update has landed, replicas are fresh again), folds the
+    epoch into the feed's system report and telemetry row, and returns the
+    epoch's total gas (the planner's observation input).
+    """
+    registry = env.registry
+    ledger = registry.chain.ledger
+    handle = registry.get(feed_id)
+    telemetry = env.feeds[feed_id]
+    cache = env.cache
+    if cache is not None:
+        for key, state in transitions.items():
+            if state is ReplicationState.NOT_REPLICATED:
+                cache.invalidate(feed_id, key)
+        env.dirty[feed_id].clear()
+    feed_after = ledger.scope_total(feed_id, LAYER_FEED)
+    app_after = ledger.scope_total(feed_id, LAYER_APPLICATION)
+    handle.system.record_epoch(
+        summary,
+        handle.report,
+        deliveries=deliveries,
+        update_transactions=update_transactions,
+        transitions=transitions,
+        gas_feed=feed_after - gas_before[0],
+        gas_application=app_after - gas_before[1],
+    )
+    telemetry.epochs.append(summary)
+    telemetry.operations += summary.operations
+    telemetry.reads += summary.reads
+    telemetry.writes += summary.writes
+    telemetry.gas_feed += summary.gas_feed
+    telemetry.gas_application += summary.gas_application
+    telemetry.replications += summary.replications
+    telemetry.evictions += summary.evictions
+    return summary.gas_total
+
+
+# ---------------------------------------------------------------------------
+# Process backend: wire envelopes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FeedSeed:
+    """One feed a worker lane must host: its spec plus its whole workload."""
+
+    spec: FeedSpec
+    operations: Tuple[Operation, ...]
+
+
+@dataclass(frozen=True)
+class LaneConfig:
+    """Everything one worker process needs to rebuild its pinned shards."""
+
+    schedule: GasSchedule
+    parameters: ChainParameters
+    router_address: str
+    cache_enabled: bool
+    cache_capacity: Optional[int]
+    #: shard index → that shard's feeds, in shard order.
+    shards: Dict[int, Tuple[FeedSeed, ...]]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One epoch's marching orders for a lane: everything that crosses the
+    boundary *into* a worker per epoch (the workloads already live there)."""
+
+    epoch: int
+    epoch_size: int
+    #: Main-chain height at the epoch start; the worker pads its local chain
+    #: to it so request events carry the same block stamps as a serial run.
+    chain_height: int
+
+
+@dataclass(frozen=True)
+class SettlementResult:
+    """One settlement transaction pre-executed inside a worker.
+
+    Carries exactly what the main chain needs to record the outcome without
+    re-executing: the transaction's shape (scope weights, calldata), the
+    receipt outcome, the events it emitted (in emission order, unstamped —
+    the main chain assigns block numbers when it mines the recorded block),
+    and the exact gas-ledger delta its execution charged.
+    """
+
+    function: str
+    feed_ids: Tuple[str, ...]
+    scopes: Dict[str, int]
+    calldata_bytes: int
+    gas_used: int
+    success: bool
+    error: Optional[str]
+    events: Tuple[tuple, ...]
+    ledger_delta: dict
+
+
+@dataclass(frozen=True)
+class ShardEpochResult:
+    """One shard's epoch, as shipped back from its worker lane."""
+
+    shard_index: int
+    #: Phase-1 side effects (gas + request events), ExecutionBuffer wire form.
+    drive: dict
+    deliver: Optional[SettlementResult]
+    update: Optional[SettlementResult]
+    #: feed id → operations still queued after this epoch (run termination).
+    remaining: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class FeedStateResult:
+    """A feed's final state, shipped back at run end so the main registry's
+    mirrors match what a serial run would have left behind."""
+
+    feed_id: str
+    telemetry: FeedTelemetry
+    report: RunReport
+    manager_attrs: dict
+    manager_slots: Dict[str, bytes]
+    consumer_attrs: dict
+    consumer_slots: Dict[str, bytes]
+    sp_store_state: Optional[dict]
+    do_trusted_root: bytes
+    do_epochs_submitted: int
+    sp_deliveries_sent: int
+    sp_records_delivered: int
+    cache_entries: Tuple[Tuple[str, bytes], ...]
+    cache_stats: Optional[CacheStats]
+
+
+#: Contract attributes that must not cross the process boundary: the chain
+#: back-reference (worker-local), the storage (shipped as slots), and the
+#: storage manager's weak cursor registry (rebuilt by the main-side monitor).
+_CONTRACT_ATTR_EXCLUDES = ("chain", "storage", "_history_cursors")
+
+
+def _contract_state(contract) -> Tuple[dict, Dict[str, bytes]]:
+    attrs = {
+        key: value
+        for key, value in vars(contract).items()
+        if key not in _CONTRACT_ATTR_EXCLUDES
+    }
+    return attrs, dict(contract.storage.slots)
+
+
+def _apply_contract_state(contract, attrs: dict, slots: Dict[str, bytes]) -> None:
+    contract.__dict__.update(attrs)
+    contract.storage.slots.clear()
+    contract.storage.slots.update(slots)
+
+
+# ---------------------------------------------------------------------------
+# Process backend: the worker side (runs inside each lane process)
+# ---------------------------------------------------------------------------
+
+
+class _LaneWorker:
+    """A worker process's resident runtime: full mirrors of its shards' feeds.
+
+    Built once per lane from the shipped :class:`LaneConfig`; lives for the
+    whole run.  Every epoch it executes the complete epoch for each of its
+    shards — drive, watchdog poll, deliver settlement, cache warm-up, update
+    settlement, per-feed accounting — against its *local* chain, in the same
+    per-feed order a serial run uses, and ships back only the deltas the main
+    chain must record.
+    """
+
+    def __init__(self, config: LaneConfig) -> None:
+        self.registry = FeedRegistry(
+            schedule=config.schedule,
+            parameters=config.parameters,
+            router_address=config.router_address,
+        )
+        cache = ReadCache(capacity=config.cache_capacity) if config.cache_enabled else None
+        self.env = ShardEnvironment(registry=self.registry, cache=cache)
+        self.shards: List[Tuple[int, List[str]]] = []
+        for shard_index in sorted(config.shards):
+            feed_ids: List[str] = []
+            for seed in config.shards[shard_index]:
+                self.registry.create_feed(seed.spec)
+                feed_id = seed.spec.feed_id
+                feed_ids.append(feed_id)
+                self.env.queues[feed_id] = deque(seed.operations)
+                self.env.dirty[feed_id] = set()
+                self.env.feeds[feed_id] = FeedTelemetry(feed_id=feed_id)
+                if cache is not None:
+                    cache.ensure_shard(feed_id)
+            self.shards.append((shard_index, feed_ids))
+
+    # -- one epoch -----------------------------------------------------------
+
+    def run_epoch(self, task: ShardTask) -> List[ShardEpochResult]:
+        env = self.env
+        chain = self.registry.chain
+        ledger = chain.ledger
+        # Pad the local chain to the main chain's height so events emitted
+        # while driving carry the very block stamps a serial run records
+        # (other lanes' settlement blocks exist only on the main chain).
+        while chain.height < task.chain_height:
+            chain.mine_block()
+
+        active = [feed_id for _, shard in self.shards for feed_id in shard]
+        gas_before = {
+            feed_id: (
+                ledger.scope_total(feed_id, LAYER_FEED),
+                ledger.scope_total(feed_id, LAYER_APPLICATION),
+            )
+            for feed_id in active
+        }
+
+        # Phase 1: drive every shard, wire the buffers *before* the local
+        # absorb clears their event lists, then merge locally in shard order
+        # (the worker's own watchdog needs the events in its log).
+        drives: List[Tuple[int, List[str], ExecutionBuffer, Dict[str, EpochSummary]]] = []
+        for shard_index, shard in self.shards:
+            buffer, summaries = drive_shard(env, shard, task.epoch, task.epoch_size)
+            drives.append((shard_index, shard, buffer, summaries))
+        drive_wires = {index: buffer.to_wire() for index, _, buffer, _ in drives}
+        for _, _, buffer, _ in drives:
+            chain.absorb(buffer)
+        self.registry.watchdog.poll()
+
+        # Phase 2: per shard, build deliver groups and settle them locally in
+        # one batched transaction mined into its own local block.
+        delivers: Dict[int, Optional[SettlementResult]] = {}
+        deliveries: Dict[str, int] = {feed_id: 0 for feed_id in active}
+        for shard_index, shard in self.shards:
+            groups = build_deliver_groups(self.registry, shard)
+            if not groups:
+                delivers[shard_index] = None
+                continue
+            result = self._settle(deliver_transaction(self.registry.router.address, groups),
+                                  [group.feed_id for group in groups])
+            for group in groups:
+                deliveries[group.feed_id] += 1
+                env.feeds[group.feed_id].deliver_groups += 1
+            warm_cache_from_deliveries(env, groups)
+            delivers[shard_index] = result
+
+        # Phase 3: per shard, prepare epoch updates and settle them locally.
+        updates: Dict[int, Optional[SettlementResult]] = {}
+        update_counts: Dict[str, int] = {feed_id: 0 for feed_id in active}
+        transitions: Dict[str, Dict[str, ReplicationState]] = {}
+        for shard_index, shard in self.shards:
+            groups_u, shard_transitions = prepare_update_groups(self.registry, shard)
+            transitions.update(shard_transitions)
+            if not groups_u:
+                updates[shard_index] = None
+                continue
+            result = self._settle(update_transaction(self.registry.router.address, groups_u),
+                                  [group.feed_id for group in groups_u])
+            for group in groups_u:
+                update_counts[group.feed_id] += 1
+                env.feeds[group.feed_id].update_groups += 1
+            updates[shard_index] = result
+
+        # Phase 4: per-feed epoch accounting, in shard order.
+        results: List[ShardEpochResult] = []
+        for shard_index, shard in self.shards:
+            summaries = next(s for i, _, _, s in drives if i == shard_index)
+            for feed_id in shard:
+                settle_feed_epoch(
+                    env,
+                    feed_id,
+                    summaries[feed_id],
+                    deliveries=deliveries[feed_id],
+                    update_transactions=update_counts[feed_id],
+                    transitions=transitions.get(feed_id, {}),
+                    gas_before=gas_before[feed_id],
+                )
+            results.append(
+                ShardEpochResult(
+                    shard_index=shard_index,
+                    drive=drive_wires[shard_index],
+                    deliver=delivers[shard_index],
+                    update=updates[shard_index],
+                    remaining={feed_id: len(env.queues[feed_id]) for feed_id in shard},
+                )
+            )
+        return results
+
+    def _settle(self, transaction: Transaction, feed_ids: List[str]) -> SettlementResult:
+        """Execute one settlement transaction on the local chain, capturing
+        the exact ledger delta, receipt outcome and emitted events."""
+        chain = self.registry.chain
+        before = ledger_to_wire(chain.ledger)
+        chain.submit(transaction)
+        chain.mine_block()
+        receipt = chain.receipt_for(transaction.txid)
+        assert receipt is not None
+        ledger_delta = ledger_delta_wire(before, chain.ledger)
+        # Block-gas-limit overflow is *derived* accounting: the worker's local
+        # mine_block recorded it from this block's gas, and the main chain's
+        # mine_recorded_block re-derives it from the shipped gas_used.
+        # Shipping it in the delta too would double-count it.
+        ledger_delta["by_category"].pop("block_gas_limit_overflow", None)
+        return SettlementResult(
+            function=transaction.function,
+            feed_ids=tuple(feed_ids),
+            scopes=dict(transaction.scopes or {}),
+            calldata_bytes=transaction.calldata_bytes,
+            gas_used=receipt.gas_used,
+            success=receipt.success,
+            error=receipt.error,
+            events=tuple(
+                (event.contract, event.name, event.payload)
+                for event in receipt.events
+            ),
+            ledger_delta=ledger_delta,
+        )
+
+    # -- run-end state shipping ----------------------------------------------
+
+    def collect(self) -> List[FeedStateResult]:
+        results: List[FeedStateResult] = []
+        cache = self.env.cache
+        for _, shard in self.shards:
+            for feed_id in shard:
+                handle = self.registry.get(feed_id)
+                manager_attrs, manager_slots = _contract_state(handle.storage_manager)
+                consumer_attrs, consumer_slots = _contract_state(handle.consumer)
+                sp_store_state: Optional[dict] = vars(handle.system.sp_store).copy()
+                try:
+                    pickle.dumps(sp_store_state)
+                except Exception:  # pragma: no cover - non-picklable backing
+                    sp_store_state = None
+                if cache is not None:
+                    shard_obj = cache._shards.get(feed_id)
+                    entries = tuple(shard_obj.entries.items()) if shard_obj else ()
+                    stats = shard_obj.stats if shard_obj else CacheStats()
+                else:
+                    entries, stats = (), None
+                results.append(
+                    FeedStateResult(
+                        feed_id=feed_id,
+                        telemetry=self.env.feeds[feed_id],
+                        report=handle.report,
+                        manager_attrs=manager_attrs,
+                        manager_slots=manager_slots,
+                        consumer_attrs=consumer_attrs,
+                        consumer_slots=consumer_slots,
+                        sp_store_state=sp_store_state,
+                        do_trusted_root=handle.data_owner.trusted_root,
+                        do_epochs_submitted=handle.data_owner.epochs_submitted,
+                        sp_deliveries_sent=handle.service_provider.deliveries_sent,
+                        sp_records_delivered=handle.service_provider.records_delivered,
+                        cache_entries=entries,
+                        cache_stats=stats,
+                    )
+                )
+        return results
+
+
+#: The lane's resident worker, one per process (set by :func:`_lane_start`).
+_LANE_WORKER: Optional[_LaneWorker] = None
+
+
+def _lane_start(config: LaneConfig) -> int:
+    global _LANE_WORKER
+    _LANE_WORKER = _LaneWorker(config)
+    return len(_LANE_WORKER.shards)
+
+
+def _lane_epoch(task: ShardTask) -> List[ShardEpochResult]:
+    assert _LANE_WORKER is not None, "lane worker not started"
+    return _LANE_WORKER.run_epoch(task)
+
+
+def _lane_collect() -> List[FeedStateResult]:
+    assert _LANE_WORKER is not None, "lane worker not started"
+    return _LANE_WORKER.collect()
+
+
+# ---------------------------------------------------------------------------
+# Process backend: the main-process engine
+# ---------------------------------------------------------------------------
+
+
+class ProcessEngine:
+    """Persistent multi-process execution backend for the epoch scheduler.
+
+    One single-worker :class:`ProcessPoolExecutor` per lane keeps each lane's
+    worker process alive (and its shard state resident) for the whole run;
+    shards are pinned ``shard_index % num_lanes``.
+    """
+
+    def __init__(self, num_lanes: int) -> None:
+        if num_lanes <= 0:
+            raise ConfigurationError("process backend needs at least one lane")
+        self.num_lanes = num_lanes
+        self._pools: List[ProcessPoolExecutor] = []
+        self._lane_shards: Dict[int, List[int]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(
+        self,
+        registry: FeedRegistry,
+        shard_plan: Sequence[Sequence[str]],
+        queues: Dict[str, Deque[Operation]],
+        *,
+        cache_enabled: bool,
+        cache_capacity: Optional[int],
+    ) -> None:
+        """Spawn the lanes and ship each its pinned shards' specs/workloads."""
+        lanes_used = min(self.num_lanes, max(1, len(shard_plan)))
+        lane_shards: Dict[int, Dict[int, Tuple[FeedSeed, ...]]] = {
+            lane: {} for lane in range(lanes_used)
+        }
+        for shard_index, shard in enumerate(shard_plan):
+            lane = shard_index % lanes_used
+            seeds = []
+            for feed_id in shard:
+                spec = registry.get(feed_id).spec
+                seeds.append(FeedSeed(spec=spec, operations=tuple(queues[feed_id])))
+            lane_shards[lane][shard_index] = tuple(seeds)
+        self._lane_shards = {
+            lane: sorted(shards) for lane, shards in lane_shards.items() if shards
+        }
+        configs = {
+            lane: LaneConfig(
+                schedule=registry.schedule,
+                parameters=registry.parameters,
+                router_address=registry.router.address,
+                cache_enabled=cache_enabled,
+                cache_capacity=cache_capacity,
+                shards=lane_shards[lane],
+            )
+            for lane in self._lane_shards
+        }
+        for lane, config in configs.items():
+            try:
+                pickle.dumps(config)
+            except Exception as exc:
+                self.shutdown()
+                raise ConfigurationError(
+                    "process execution mode ships feed specs and workloads to "
+                    f"worker processes, but lane {lane}'s payload is not "
+                    f"picklable: {exc}"
+                ) from exc
+        self._pools = [ProcessPoolExecutor(max_workers=1) for _ in self._lane_shards]
+        startups = [
+            pool.submit(_lane_start, configs[lane])
+            for pool, lane in zip(self._pools, sorted(self._lane_shards))
+        ]
+        for future in startups:
+            future.result()
+
+    def run_epoch(
+        self, epoch: int, epoch_size: int, chain_height: int
+    ) -> List[ShardEpochResult]:
+        """Run one epoch on every lane concurrently; results in shard order."""
+        task = ShardTask(epoch=epoch, epoch_size=epoch_size, chain_height=chain_height)
+        futures = [pool.submit(_lane_epoch, task) for pool in self._pools]
+        results: List[ShardEpochResult] = []
+        for future in futures:
+            results.extend(future.result())
+        results.sort(key=lambda result: result.shard_index)
+        return results
+
+    def collect(self) -> List[FeedStateResult]:
+        """Fetch every lane's final feed state (run end)."""
+        futures = [pool.submit(_lane_collect) for pool in self._pools]
+        results: List[FeedStateResult] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def shutdown(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pools = []
+
+
+def apply_feed_state(
+    registry: FeedRegistry,
+    cache: Optional[ReadCache],
+    state: FeedStateResult,
+) -> None:
+    """Fold a worker's final feed state into the main registry's mirror.
+
+    After this, the main-side handle's contracts (storage slots, counters,
+    call history), report, SP store contents, DO root and SP counters match
+    what a serial run would have produced — which is what the equivalence
+    suite inspects and what post-run analysis reads.  The mirror's control
+    plane is *not* rewound to match (its state lives in the worker's decision
+    algorithm); a registry that ran in process mode is done, not resumable.
+    """
+    handle = registry.get(state.feed_id)
+    _apply_contract_state(handle.storage_manager, state.manager_attrs, state.manager_slots)
+    _apply_contract_state(handle.consumer, state.consumer_attrs, state.consumer_slots)
+    handle.report.__dict__.update(state.report.__dict__)
+    if state.sp_store_state is not None:
+        handle.system.sp_store.__dict__.update(state.sp_store_state)
+    handle.data_owner.trusted_root = state.do_trusted_root
+    handle.data_owner.epochs_submitted = state.do_epochs_submitted
+    handle.service_provider.deliveries_sent = state.sp_deliveries_sent
+    handle.service_provider.records_delivered = state.sp_records_delivered
+    if cache is not None and state.cache_stats is not None:
+        cache.install_shard(state.feed_id, state.cache_entries, state.cache_stats)
+
+
+def settlement_buffer(result: SettlementResult) -> ExecutionBuffer:
+    """The ledger-only absorb payload of a pre-executed settlement."""
+    return ExecutionBuffer(ledger=ledger_from_wire(result.ledger_delta))
+
+
+def drive_buffer(result: ShardEpochResult) -> ExecutionBuffer:
+    """The phase-1 absorb payload of one shard's epoch result."""
+    return buffer_from_wire(result.drive)

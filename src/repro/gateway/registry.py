@@ -17,7 +17,8 @@ batched transaction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.chain.chain import Blockchain, ChainParameters
 from repro.chain.gas import GasSchedule
@@ -27,6 +28,11 @@ from repro.core.config import GrubConfig
 from repro.core.grub import GrubSystem, RunReport
 from repro.gateway.router import GatewayRouterContract
 from repro.gateway.watchdog import SharedWatchdog
+from repro.storage.kvstore import KVStore
+from repro.storage.lsm import LSMStore
+
+#: SP-store backends a :class:`FeedSpec` may select.
+STORE_BACKENDS = ("memory", "lsm")
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,16 @@ class FeedSpec:
     #: epochs (``None`` = unlimited).  At least one operation always executes
     #: per epoch, so a quota can throttle a tenant but never wedge it.
     max_gas_per_epoch: Optional[int] = None
+    #: Backend of the feed's service-provider store: ``"memory"`` (default,
+    #: the dict-backed :class:`~repro.storage.kvstore.InMemoryKVStore`) or
+    #: ``"lsm"`` (an :class:`~repro.storage.lsm.LSMStore`; with
+    #: ``store_directory`` set, a persistent one whose SSTables and WAL
+    #: survive a gateway restart).
+    store_backend: str = "memory"
+    #: Directory for a persistent ``"lsm"`` store.  Must be private to this
+    #: feed (two feeds sharing a directory would interleave their WALs);
+    #: ``None`` keeps the LSM purely in memory.
+    store_directory: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if not self.feed_id or "/" in self.feed_id:
@@ -57,6 +73,22 @@ class FeedSpec:
             raise ConfigurationError("max_ops_per_epoch must be positive when given")
         if self.max_gas_per_epoch is not None and self.max_gas_per_epoch <= 0:
             raise ConfigurationError("max_gas_per_epoch must be positive when given")
+        if self.store_backend not in STORE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown store_backend {self.store_backend!r}; "
+                f"expected one of {STORE_BACKENDS}"
+            )
+        if self.store_directory is not None and self.store_backend != "lsm":
+            raise ConfigurationError(
+                "store_directory only applies to the 'lsm' store backend"
+            )
+
+    def build_store_backing(self) -> Optional[KVStore]:
+        """The SP-store backing this spec selects (``None`` = the default)."""
+        if self.store_backend == "memory":
+            return None
+        directory = Path(self.store_directory) if self.store_directory is not None else None
+        return LSMStore(directory=directory)
 
 
 @dataclass
@@ -126,6 +158,7 @@ class FeedRegistry:
             chain=self.chain,
             feed_id=spec.feed_id,
             gateway=self.router.address,
+            sp_store_backing=spec.build_store_backing(),
         )
         handle = FeedHandle(
             spec=spec,

@@ -45,20 +45,29 @@ queue for later epochs and are surfaced as ``deferred_ops`` in telemetry.
 **Parallel execution.** Feeds are independent between settlement points, so
 within an epoch the off-chain work of every shard — driving its feeds'
 operations, generating the SP's deliver proofs, running each DO's
-``prepare_epoch_update`` — executes concurrently on a
-:class:`~concurrent.futures.ThreadPoolExecutor` with ``num_workers`` threads.
-Isolation is structural, not locked: a worker owns whole shards (so every
-per-feed object — contracts, SP store, control plane, cache shard, telemetry
-row, workload queue — is touched by exactly one thread), and the two globally
-*ordered* chain structures (the gas ledger and the event log) are deferred
-into per-shard :class:`~repro.chain.chain.ExecutionBuffer`\\ s.  Settlement
-then lands in a **deterministic merge phase**: buffers are absorbed,
-transactions submitted, and accounting folded in fixed shard order, so a
-parallel run produces bit-identical telemetry, per-feed gas bills and chain
-state to a serial (``num_workers=1``) run — which executes the very same
-buffered code path.  Churn processing and shard planning happen on the main
-thread between epochs, from deterministic inputs, so the guarantee extends
-to elastic runs (pinned by ``tests/gateway/test_elastic_properties.py``).
+``prepare_epoch_update`` — executes on a pluggable backend selected by
+``execution_mode``: ``"serial"`` runs shards inline, ``"thread"`` (default)
+overlaps them on a :class:`~concurrent.futures.ThreadPoolExecutor` with
+``num_workers`` threads (CPython's GIL caps the speedup at ≈1× for this
+pure-Python hot path), and ``"process"`` ships whole shards to persistent
+worker processes (:class:`~repro.gateway.executor.ProcessEngine`) that host
+full mirrors of their feeds and return per-epoch deltas — the mode that
+actually multiplies throughput on multicore hosts.  Isolation is structural,
+not locked: a worker owns whole shards (so every per-feed object —
+contracts, SP store, control plane, cache shard, telemetry row, workload
+queue — is touched by exactly one worker), and the two globally *ordered*
+chain structures (the gas ledger and the event log) are deferred into
+per-shard :class:`~repro.chain.chain.ExecutionBuffer`\\ s.  Settlement then
+lands in a **deterministic merge phase**: buffers are absorbed, transactions
+submitted (or, in process mode, recorded from the workers' pre-executed
+results), and accounting folded in fixed shard order, so every backend
+produces bit-identical telemetry, per-feed gas bills and chain state to a
+serial run — which executes the very same phase code, shared through
+:mod:`repro.gateway.executor`.  Churn processing and shard planning happen
+on the main thread between epochs, from deterministic inputs, so the
+guarantee extends to elastic runs (pinned by
+``tests/gateway/test_elastic_properties.py``; the process backend requires a
+static fleet and plan, and rejects anything else loudly).
 
 Reads are fronted by the consumer-side :class:`~repro.gateway.cache.ReadCache`
 when one is configured: a read of a key whose verified replica the gateway has
@@ -96,25 +105,32 @@ from typing import (
     Tuple,
 )
 
-from repro.chain.chain import ExecutionBuffer
 from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
 from repro.chain.transaction import Transaction
 from repro.common.errors import ConfigurationError, ReproError
-from repro.common.types import EpochSummary, Operation, OperationKind, ReplicationState
+from repro.common.types import EpochSummary, Operation, ReplicationState
 from repro.gateway.cache import ReadCache
+from repro.gateway.executor import (
+    EXECUTION_MODES,
+    GATEWAY_OPERATOR,
+    ProcessEngine,
+    SettlementResult,
+    ShardEnvironment,
+    apply_feed_state,
+    build_deliver_groups,
+    deliver_transaction,
+    drive_buffer,
+    drive_shard,
+    prepare_update_groups,
+    settle_feed_epoch,
+    settlement_buffer,
+    update_transaction,
+    warm_cache_from_deliveries,
+)
 from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
 from repro.gateway.planner import RoundRobinPlanner, ShardPlanner
-from repro.gateway.registry import FeedHandle, FeedRegistry, FeedSpec
-from repro.gateway.router import (
-    DeliverGroup,
-    UpdateGroup,
-    scope_weights_for_deliver,
-    scope_weights_for_update,
-)
-
-#: Externally-owned account the gateway runtime submits batched transactions
-#: from (it operates the hosted DOs and the shared watchdog).
-GATEWAY_OPERATOR = "gateway-operator"
+from repro.gateway.registry import FeedRegistry, FeedSpec
+from repro.gateway.router import DeliverGroup
 
 
 @dataclass(frozen=True)
@@ -148,11 +164,22 @@ class EpochScheduler:
         read_cache: Optional[ReadCache] = None,
         enable_cache: bool = True,
         planner: Optional[ShardPlanner] = None,
+        execution_mode: str = "thread",
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
         if num_workers <= 0:
             raise ConfigurationError("num_workers must be positive")
+        if execution_mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"unknown execution_mode {execution_mode!r}; "
+                f"expected one of {EXECUTION_MODES}"
+            )
+        if execution_mode == "serial" and num_workers != 1:
+            raise ConfigurationError(
+                "execution_mode='serial' runs every shard on the calling "
+                "thread; num_workers must be 1"
+            )
         if planner is not None and num_shards != 1:
             raise ConfigurationError(
                 "num_shards only configures the default round-robin planner; "
@@ -162,9 +189,15 @@ class EpochScheduler:
             raise ConfigurationError("epoch_size must be positive when given")
         self.registry = registry
         self.num_shards = num_shards
-        #: Worker threads for the per-shard off-chain phases.  Results are
-        #: always folded in shard order, so this only affects wall-clock
-        #: speed, never any output.
+        #: How the per-shard phases execute: ``"serial"`` runs them inline,
+        #: ``"thread"`` overlaps them on a ``num_workers`` thread pool (wall
+        #: clock only; the GIL caps the gain), ``"process"`` ships them to
+        #: ``num_workers`` persistent worker processes (true multicore).  All
+        #: three merge in fixed shard order and produce bit-identical output.
+        self.execution_mode = execution_mode
+        #: Worker threads (or process lanes) for the per-shard off-chain
+        #: phases.  Results are always folded in shard order, so this only
+        #: affects wall-clock speed, never any output.
         self.num_workers = num_workers
         self._epoch_size = epoch_size
         #: The per-epoch shard planner; defaults to the gas-oblivious
@@ -182,6 +215,7 @@ class EpochScheduler:
         #: mid-epoch (a later epoch would otherwise be served the old value).
         self._dirty: Dict[str, set] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._env: Optional[ShardEnvironment] = None
         self._admission_queue: List[Admission] = []
         self._eviction_queue: List[Eviction] = []
         self.epochs_run = 0
@@ -389,19 +423,9 @@ class EpochScheduler:
         (fewer under quota); feeds whose queue is exhausted simply stop
         contributing operations (their empty epochs send no transactions).
         """
-        workloads = dict(workloads) if workloads else {}
-        feed_ids = [feed_id for feed_id in self.registry.feed_ids if feed_id in workloads]
-        missing = set(workloads) - set(feed_ids)
-        if missing:
-            raise ConfigurationError(f"workloads for unregistered feeds: {sorted(missing)}")
-        for feed_id in feed_ids:
-            self._require_batch_deliver(self.registry.get(feed_id).spec)
-
-        queues: Dict[str, Deque[Operation]] = {
-            feed_id: deque(workloads[feed_id]) for feed_id in feed_ids
-        }
-        epoch_size = self.epoch_size_for(feed_ids)
-        active: List[str] = list(feed_ids)
+        if self.execution_mode == "process":
+            return self._run_process(workloads)
+        queues, epoch_size, active, fleet = self._prepare_run(workloads)
 
         # Pre-create every per-feed structure a worker will touch, so the
         # parallel phases never mutate a shared directory — workers only
@@ -411,15 +435,22 @@ class EpochScheduler:
             for feed_id in active:
                 self.cache.ensure_shard(feed_id)
 
-        fleet = FleetTelemetry(
-            feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in active}
-        )
         blocks_before = self.registry.chain.height
         wall_start = time.perf_counter()
 
+        # The environment the shard phases operate on: the same dict objects
+        # the churn controller mutates, wrapped for the shared executor
+        # functions (worker processes build their own, shard-local ones).
+        self._env = ShardEnvironment(
+            registry=self.registry,
+            cache=self.cache,
+            dirty=self._dirty,
+            queues=queues,
+            feeds=fleet.feeds,
+        )
         pool = ThreadPoolExecutor(
             max_workers=self.num_workers, thread_name_prefix="epoch-worker"
-        ) if self.num_workers > 1 else None
+        ) if self.execution_mode == "thread" and self.num_workers > 1 else None
         self._pool = pool
         epoch = 0
         try:
@@ -446,6 +477,7 @@ class EpochScheduler:
                 epoch += 1
         finally:
             self._pool = None
+            self._env = None
             if pool is not None:
                 pool.shutdown(wait=True)
 
@@ -454,6 +486,33 @@ class EpochScheduler:
         fleet.blocks_mined = self.registry.chain.height - blocks_before
         self.epochs_run += epoch
         return fleet
+
+    def _prepare_run(
+        self, workloads: Optional[Mapping[str, Sequence[Operation]]]
+    ) -> Tuple[Dict[str, Deque[Operation]], int, List[str], FleetTelemetry]:
+        """Shared run prologue for every backend: validate the workload map
+        against the registry and build the initial run state.  Validation
+        added here applies to serial, thread *and* process runs."""
+        workloads = dict(workloads) if workloads else {}
+        feed_ids = [
+            feed_id for feed_id in self.registry.feed_ids if feed_id in workloads
+        ]
+        missing = set(workloads) - set(feed_ids)
+        if missing:
+            raise ConfigurationError(
+                f"workloads for unregistered feeds: {sorted(missing)}"
+            )
+        for feed_id in feed_ids:
+            self._require_batch_deliver(self.registry.get(feed_id).spec)
+        queues: Dict[str, Deque[Operation]] = {
+            feed_id: deque(workloads[feed_id]) for feed_id in feed_ids
+        }
+        epoch_size = self.epoch_size_for(feed_ids)
+        active = list(feed_ids)
+        fleet = FleetTelemetry(
+            feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in active}
+        )
+        return queues, epoch_size, active, fleet
 
     # -- one lockstep epoch ---------------------------------------------------
 
@@ -481,7 +540,7 @@ class EpochScheduler:
         # charges and emitted events land in per-shard buffers, merged below
         # in shard order.
         drive_results = self._map_shards(
-            self._drive_shard, shard_plan, epoch, epoch_size, queues, fleet
+            self._drive_shard, shard_plan, epoch, epoch_size
         )
         summaries: Dict[str, EpochSummary] = {}
         for buffer, shard_summaries in drive_results:
@@ -502,15 +561,7 @@ class EpochScheduler:
             if not groups:
                 continue
             transaction = self.registry.chain.submit(
-                Transaction(
-                    sender=GATEWAY_OPERATOR,
-                    contract=self.registry.router.address,
-                    function="deliver_batch",
-                    args={"groups": groups},
-                    calldata_bytes=sum(group.calldata_bytes for group in groups),
-                    layer=LAYER_FEED,
-                    scopes=scope_weights_for_deliver(groups),
-                )
+                deliver_transaction(self.registry.router.address, groups)
             )
             self.registry.chain.mine_block()
             self._check_settlement([transaction])
@@ -519,7 +570,7 @@ class EpochScheduler:
                 deliveries[group.feed_id] += 1
                 fleet.feeds[group.feed_id].deliver_groups += 1
                 delivered_groups.append(group)
-        self._warm_cache_from_deliveries(delivered_groups)
+        warm_cache_from_deliveries(self._env, delivered_groups)
 
         # Phase 3 — every shard prepares its feeds' epoch updates (control
         # plane + ADS + root signing) concurrently; each shard's payloads
@@ -533,15 +584,7 @@ class EpochScheduler:
             if not groups_u:
                 continue
             transaction = self.registry.chain.submit(
-                Transaction(
-                    sender=GATEWAY_OPERATOR,
-                    contract=self.registry.router.address,
-                    function="update_batch",
-                    args={"groups": groups_u},
-                    calldata_bytes=sum(group.calldata_bytes for group in groups_u),
-                    layer=LAYER_FEED,
-                    scopes=scope_weights_for_update(groups_u),
-                )
+                update_transaction(self.registry.router.address, groups_u)
             )
             self.registry.chain.mine_block()
             self._check_settlement([transaction])
@@ -555,158 +598,33 @@ class EpochScheduler:
         # served from the cache), and feed the settled gas back to the shard
         # planner's estimates.
         for feed_id in active:
-            handle = self.registry.get(feed_id)
-            telemetry = fleet.feeds[feed_id]
-            summary = summaries[feed_id]
-            feed_transitions = transitions.get(feed_id, {})
-            if self.cache is not None:
-                for key, state in feed_transitions.items():
-                    if state is ReplicationState.NOT_REPLICATED:
-                        self.cache.invalidate(feed_id, key)
-                # The epoch update has landed: written keys' replicas are
-                # fresh again and may be memoised from the next read on.
-                self._dirty[feed_id].clear()
-            feed_after = ledger.scope_total(feed_id, LAYER_FEED)
-            app_after = ledger.scope_total(feed_id, LAYER_APPLICATION)
-            handle.system.record_epoch(
-                summary,
-                handle.report,
+            epoch_gas = settle_feed_epoch(
+                self._env,
+                feed_id,
+                summaries[feed_id],
                 deliveries=deliveries[feed_id],
                 update_transactions=updates[feed_id],
-                transitions=feed_transitions,
-                gas_feed=feed_after - gas_before[feed_id][0],
-                gas_application=app_after - gas_before[feed_id][1],
+                transitions=transitions.get(feed_id, {}),
+                gas_before=gas_before[feed_id],
             )
-            telemetry.epochs.append(summary)
-            telemetry.operations += summary.operations
-            telemetry.reads += summary.reads
-            telemetry.writes += summary.writes
-            telemetry.gas_feed += summary.gas_feed
-            telemetry.gas_application += summary.gas_application
-            telemetry.replications += summary.replications
-            telemetry.evictions += summary.evictions
-            self.planner.observe(feed_id, summary.gas_total)
+            self.planner.observe(feed_id, epoch_gas)
 
     # -- per-shard work (runs on worker threads) ------------------------------
+    #
+    # The phase bodies live in :mod:`repro.gateway.executor` so the process
+    # backend's workers execute the very same code against their own shard
+    # environments; these thin wrappers bind the scheduler's environment.
 
-    def _drive_shard(
-        self,
-        shard: List[str],
-        epoch: int,
-        epoch_size: int,
-        queues: Dict[str, Deque[Operation]],
-        fleet: FleetTelemetry,
-    ) -> Tuple[ExecutionBuffer, Dict[str, EpochSummary]]:
-        """Phase-1 worker: drive every feed of one shard through its epoch
-        slice, buffering chain side effects for the ordered merge.
-
-        Each feed consumes from the head of its own queue — up to
-        ``epoch_size`` operations, capped by the tenant's ``max_ops_per_epoch``
-        quota, and cut short once ``max_gas_per_epoch`` is reached (checked
-        after each operation against the feed's scoped gas in this shard's
-        buffer, which contains exactly the feed's own driving-phase charges).
-        Whatever the epoch could not take stays queued and is counted as
-        deferred.
-        """
-        chain = self.registry.chain
-        shard_summaries: Dict[str, EpochSummary] = {}
-        with chain.isolated_execution() as buffer:
-            for feed_id in shard:
-                handle = self.registry.get(feed_id)
-                telemetry = fleet.feeds[feed_id]
-                queue = queues[feed_id]
-                spec = handle.spec
-                planned = min(len(queue), epoch_size)
-                take = planned
-                if spec.max_ops_per_epoch is not None:
-                    take = min(take, spec.max_ops_per_epoch)
-                summary = handle.system.begin_epoch(epoch, take)
-                shard_summaries[feed_id] = summary
-                executed = 0
-                gas_cap = spec.max_gas_per_epoch
-                by_scope = buffer.ledger.by_scope
-                for _ in range(take):
-                    operation = queue.popleft()
-                    self._drive(handle, operation, summary, telemetry)
-                    executed += 1
-                    if (
-                        gas_cap is not None
-                        and executed < take
-                        # O(1) per-op: the feed's two layer buckets, not a
-                        # scan of every scope in the shard buffer.
-                        and by_scope.get((feed_id, LAYER_FEED), 0)
-                        + by_scope.get((feed_id, LAYER_APPLICATION), 0)
-                        >= gas_cap
-                    ):
-                        break
-                summary.operations = executed
-                deferred = planned - executed
-                if deferred:
-                    telemetry.deferred_ops += deferred
-        return buffer, shard_summaries
+    def _drive_shard(self, shard: List[str], epoch: int, epoch_size: int):
+        return drive_shard(self._env, shard, epoch, epoch_size)
 
     def _build_deliver_groups(self, shard: List[str]) -> List[DeliverGroup]:
-        """Phase-2 worker: drain one shard's pending requests into deliver
-        groups (record lookups plus batched proof generation, no chain I/O)."""
-        groups: List[DeliverGroup] = []
-        for feed_id in shard:
-            handle = self.registry.get(feed_id)
-            items = handle.service_provider.drain_pending_items()
-            if not items:
-                continue
-            groups.append(
-                DeliverGroup(
-                    feed_id=feed_id,
-                    manager=handle.storage_manager.address,
-                    items=items,
-                )
-            )
-        return groups
+        return build_deliver_groups(self.registry, shard)
 
-    def _prepare_update_groups(
-        self, shard: List[str]
-    ) -> Tuple[List[UpdateGroup], Dict[str, Dict[str, ReplicationState]]]:
-        """Phase-3 worker: run one shard's control planes and ADS updates,
-        returning the prepared update groups plus per-feed transitions."""
-        groups: List[UpdateGroup] = []
-        shard_transitions: Dict[str, Dict[str, ReplicationState]] = {}
-        for feed_id in shard:
-            handle = self.registry.get(feed_id)
-            prepared = handle.data_owner.prepare_epoch_update()
-            shard_transitions[feed_id] = prepared.transitions
-            if not prepared.has_payload:
-                continue
-            assert prepared.signed_root is not None
-            handle.data_owner.note_epoch_submitted()
-            groups.append(
-                UpdateGroup(
-                    feed_id=feed_id,
-                    manager=handle.storage_manager.address,
-                    entries=prepared.entries,
-                    digest=prepared.signed_root.root,
-                )
-            )
-        return groups, shard_transitions
+    def _prepare_update_groups(self, shard: List[str]):
+        return prepare_update_groups(self.registry, shard)
 
     # -- settlement helpers (main thread only) --------------------------------
-
-    def _warm_cache_from_deliveries(self, groups: List[DeliverGroup]) -> None:
-        """Memoise records the deliver batches just verified *and* replicated.
-
-        Once the chain has verified a delivered record's proof and stored it
-        as a replica, its value is public replicated state — exactly what the
-        cache serves — so it is memoised immediately instead of waiting for
-        the first post-deliver read to do it.  Keys written during the current
-        epoch are skipped (their replica is about to be superseded by the
-        pending epoch update), preserving the dirty-key invalidation rules.
-        """
-        if self.cache is None:
-            return
-        for group in groups:
-            dirty = self._dirty.get(group.feed_id, ())
-            for item in group.items:
-                if item.replicate and item.key not in dirty:
-                    self.cache.put(group.feed_id, item.key, item.value)
 
     def _check_settlement(self, batch_txs: List[Transaction]) -> None:
         """Fail loudly if any settlement batch reverted.
@@ -725,37 +643,132 @@ class EpochScheduler:
                     f"(feeds {sorted(transaction.scopes or {})}): {receipt.error}"
                 )
 
-    # -- one operation --------------------------------------------------------
+    # -- the process backend --------------------------------------------------
 
-    def _drive(
-        self,
-        handle: FeedHandle,
-        operation: Operation,
-        summary: EpochSummary,
-        telemetry: FeedTelemetry,
-    ) -> None:
-        """Route one operation: cache front for point reads, system otherwise."""
-        cache = self.cache
-        if cache is not None and operation.kind is OperationKind.READ:
-            cached = cache.get(handle.feed_id, operation.key)
-            if cached is not None:
-                # Served from the gateway's memo of verified chain state: no
-                # on-chain call, no gas, and no entry in the on-chain trace.
-                telemetry.cache_hits += 1
-                summary.reads += 1
-                handle.report.reads += 1
-                handle.report.operations += 1
-                return
-            telemetry.cache_misses += 1
-            handle.system.drive_operation(operation, summary, handle.report)
-            replica = handle.storage_manager.replica_of(operation.key)
-            if replica is not None and operation.key not in self._dirty[handle.feed_id]:
-                # The read was served by a verified on-chain replica and no
-                # buffered write is about to supersede it; memoise it for
-                # subsequent reads of the same key.
-                cache.put(handle.feed_id, operation.key, replica)
-            return
-        if operation.is_write and cache is not None:
-            cache.invalidate(handle.feed_id, operation.key)
-            self._dirty[handle.feed_id].add(operation.key)
-        handle.system.drive_operation(operation, summary, handle.report)
+    def _run_process(
+        self, workloads: Optional[Mapping[str, Sequence[Operation]]]
+    ) -> FleetTelemetry:
+        """Drive the fleet on the multicore process backend.
+
+        Feeds are pinned to long-lived worker processes by the epoch-0 shard
+        plan; each worker hosts full mirrors of its shards' feeds (built from
+        the same :class:`FeedSpec`\\ s the main registry used) and executes
+        whole epochs locally, shipping back only the per-epoch deltas — the
+        driving phase's execution buffer and the pre-executed settlement
+        transactions — which the main chain records in fixed shard order.
+        Output is bit-identical to the serial backend.
+
+        Constraints (checked loudly rather than silently diverging): a static
+        fleet (no queued churn — shard pinning cannot follow tenants between
+        processes), a stable shard plan (the round-robin planner; a gas-aware
+        plan re-shards between epochs), and memory-backed SP stores (two
+        processes must never open one LSM directory).
+        """
+        if self.pending_churn:
+            raise ConfigurationError(
+                "execution_mode='process' pins feeds to worker processes for "
+                "the whole run; admissions/evictions need the serial or "
+                "thread backend"
+            )
+        if not isinstance(self.planner, RoundRobinPlanner):
+            raise ConfigurationError(
+                "execution_mode='process' requires a stable shard plan; the "
+                f"configured planner ({type(self.planner).__name__}) may "
+                "re-shard between epochs, which would move feeds between "
+                "worker processes mid-run"
+            )
+        queues, epoch_size, active, fleet = self._prepare_run(workloads)
+        for feed_id in active:
+            if self.registry.get(feed_id).spec.store_backend != "memory":
+                raise ConfigurationError(
+                    f"feed {feed_id!r}: execution_mode='process' requires "
+                    "memory-backed SP stores (a persistent store directory "
+                    "cannot be opened by two processes at once)"
+                )
+        chain = self.registry.chain
+        blocks_before = chain.height
+        wall_start = time.perf_counter()
+
+        # The plan is computed once and reused every epoch: round-robin over
+        # a static fleet is per-epoch stable, so this matches what the serial
+        # run's per-epoch plan() calls would produce.
+        shard_plan = self.planner.plan(
+            active, block_gas_limit=chain.parameters.block_gas_limit
+        )
+        engine = ProcessEngine(self.num_workers)
+        remaining = {feed_id: len(queues[feed_id]) for feed_id in active}
+        epoch = 0
+        try:
+            engine.start(
+                self.registry,
+                shard_plan,
+                queues,
+                cache_enabled=self.cache is not None,
+                cache_capacity=self.cache.capacity if self.cache is not None else None,
+            )
+            while any(remaining.values()):
+                fleet.rosters.append((epoch, sorted(active)))
+                fleet.shards_per_epoch.append(len(shard_plan))
+                results = engine.run_epoch(epoch, epoch_size, chain.height)
+                # Deterministic merge, mirroring the serial phase order:
+                # every shard's drive buffer, then one recorded block per
+                # shard deliver, then one per shard update — all in fixed
+                # shard order.
+                for result in results:
+                    chain.absorb(drive_buffer(result))
+                for result in results:
+                    if result.deliver is not None:
+                        self._record_settlement(result.deliver, fleet)
+                for result in results:
+                    if result.update is not None:
+                        self._record_settlement(result.update, fleet)
+                for result in results:
+                    remaining.update(result.remaining)
+                epoch += 1
+            # Run over: pull every worker's final feed state back into the
+            # main registry's mirrors, so post-run inspection (contract
+            # storage, roots, reports, cache) sees serial-identical state.
+            for state in engine.collect():
+                apply_feed_state(self.registry, self.cache, state)
+                fleet.feeds[state.feed_id] = state.telemetry
+        finally:
+            engine.shutdown()
+
+        fleet.wall_seconds = time.perf_counter() - wall_start
+        fleet.epochs_run = epoch
+        fleet.blocks_mined = chain.height - blocks_before
+        self.epochs_run += epoch
+        return fleet
+
+    def _record_settlement(self, result: SettlementResult, fleet: FleetTelemetry) -> None:
+        """Record one worker-executed settlement on the main chain: mine its
+        block (receipt, events, block-gas accounting), absorb its exact gas
+        delta, and fail loudly on a reverted batch — the same contract
+        :meth:`_check_settlement` enforces for locally executed batches."""
+        chain = self.registry.chain
+        transaction = Transaction(
+            sender=GATEWAY_OPERATOR,
+            contract=self.registry.router.address,
+            function=result.function,
+            args={},
+            calldata_bytes=result.calldata_bytes,
+            layer=LAYER_FEED,
+            scopes=dict(result.scopes),
+        )
+        chain.mine_recorded_block(
+            transaction,
+            gas_used=result.gas_used,
+            success=result.success,
+            error=result.error,
+            events=list(result.events),
+        )
+        chain.absorb(settlement_buffer(result))
+        if not result.success:
+            raise ReproError(
+                f"gateway {result.function} reverted "
+                f"(feeds {sorted(result.scopes)}): {result.error}"
+            )
+        if result.function == "deliver_batch":
+            fleet.deliver_batches += 1
+        else:
+            fleet.update_batches += 1

@@ -66,6 +66,10 @@ class ChurnSchedule:
     initial: List[TenantJoin] = field(default_factory=list)
     joins: List[TenantJoin] = field(default_factory=list)
     leaves: List[TenantLeave] = field(default_factory=list)
+    #: With correlated hot keys: the epochs every resident feed bursts in,
+    #: and the shared key suffixes the bursts read (empty otherwise).
+    hot_burst_epochs: List[int] = field(default_factory=list)
+    hot_suffixes: List[str] = field(default_factory=list)
 
     def install(self, registry, scheduler) -> Dict[str, List[Operation]]:
         """Create the initial fleet on ``registry``, queue every churn event
@@ -122,6 +126,21 @@ class FleetChurnWorkload:
         quota_feeds: resident tenants given ``max_ops_per_epoch`` (half the
             epoch size, so deferral always triggers); the first of them also
             gets a ``max_gas_per_epoch`` cap.
+        correlated_hot_keys: give every resident tenant the same small *hot
+            keyset* (one record per shared suffix, preloaded) and splice
+            synchronized read bursts over it into every resident workload at
+            the same epoch boundaries.  This is the cross-feed correlation
+            stub from the roadmap: load spikes that hit all feeds in the same
+            epochs (the shard planner sees every bin fill at once rather than
+            independent noise averaging out) while the repeated hot reads
+            exercise the replication decision and the read cache fleet-wide.
+            Quota-carrying residents are *excluded* from the bursts: their
+            per-epoch quotas defer operations, so a stream-offset splice would
+            execute in a later epoch than the rest of the fleet — a burst
+            that is not synchronized is exactly what this option must not
+            silently produce.
+        hot_keys: size of the shared hot keyset (per feed, same suffixes).
+        hot_burst_epochs: how many synchronized burst epochs to schedule.
     """
 
     seed: int = 11
@@ -135,6 +154,9 @@ class FleetChurnWorkload:
     quota_feeds: int = 1
     preload_keys: int = 8
     record_size_bytes: int = 32
+    correlated_hot_keys: bool = False
+    hot_keys: int = 4
+    hot_burst_epochs: int = 2
 
     def __post_init__(self) -> None:
         if self.base_feeds <= 0:
@@ -154,6 +176,18 @@ class FleetChurnWorkload:
             raise ConfigurationError(
                 "not enough unquota'd resident feeds to supply the requested leaves"
             )
+        if self.correlated_hot_keys:
+            if self.hot_keys <= 0:
+                raise ConfigurationError("hot_keys must be positive")
+            if not 0 < self.hot_burst_epochs < self.horizon_epochs:
+                raise ConfigurationError(
+                    "hot_burst_epochs must fall inside the horizon"
+                )
+            if self.quota_feeds >= self.base_feeds:
+                raise ConfigurationError(
+                    "correlated hot keys need at least one unquota'd resident "
+                    "(quota feeds are excluded from the synchronized bursts)"
+                )
 
     # -- tenant builders ------------------------------------------------------
 
@@ -204,11 +238,57 @@ class FleetChurnWorkload:
             )
         return ops
 
+    def _hot_key(self, feed_id: str, suffix: str) -> str:
+        """One feed's copy of a shared hot key (namespaced per feed, but the
+        suffix — and therefore the access pattern — is fleet-wide)."""
+        return f"{feed_id}-{suffix}"
+
+    def _splice_hot_bursts(
+        self,
+        feed_id: str,
+        operations: List[Operation],
+        burst_epochs: List[int],
+        burst_pattern: List[str],
+    ) -> List[Operation]:
+        """Insert one epoch-sized read burst over the hot keyset at every
+        synchronized burst epoch (positions are epoch boundaries of the final
+        spliced stream, so all feeds burst in the same lockstep epochs)."""
+        spliced = list(operations)
+        for burst_epoch in burst_epochs:
+            position = min(burst_epoch * self.epoch_size, len(spliced))
+            burst = [
+                Operation.read(
+                    self._hot_key(feed_id, suffix),
+                    size_bytes=self.record_size_bytes,
+                )
+                for suffix in burst_pattern
+            ]
+            spliced[position:position] = burst
+        return spliced
+
     # -- schedule generation --------------------------------------------------
 
     def generate(self) -> ChurnSchedule:
         rng = random.Random(self.seed)
         schedule = ChurnSchedule(epoch_size=self.epoch_size)
+
+        # The shared hot keyset and its synchronized burst schedule: one
+        # choice for the whole fleet, so every resident feed reads the same
+        # suffixes in the same epochs (cross-feed correlated traffic).
+        hot_suffixes: List[str] = []
+        burst_epochs: List[int] = []
+        burst_pattern: List[str] = []
+        if self.correlated_hot_keys:
+            hot_suffixes = [f"hot-{index:03d}" for index in range(self.hot_keys)]
+            burst_epochs = sorted(
+                rng.sample(range(1, self.horizon_epochs), self.hot_burst_epochs)
+            )
+            burst_pattern = [
+                hot_suffixes[rng.randrange(len(hot_suffixes))]
+                for _ in range(self.epoch_size)
+            ]
+            schedule.hot_burst_epochs = list(burst_epochs)
+            schedule.hot_suffixes = list(hot_suffixes)
 
         # Resident fleet; the first `quota_feeds` carry tight quotas.
         for index in range(self.base_feeds):
@@ -221,21 +301,33 @@ class FleetChurnWorkload:
                     # A loose gas cap on top: high enough to let several ops
                     # through, low enough to bite on write-heavy epochs.
                     quota_gas = 400_000
+            # Quota feeds are excluded from the synchronized bursts: their
+            # ops/gas quotas defer operations to later epochs, so a splice at
+            # a stream offset would *execute* epochs after the fleet-wide
+            # spike (desynchronized by construction).
+            in_burst_cohort = bool(burst_epochs) and quota_ops is None and quota_gas is None
+            preload = self._preload(feed_id)
+            if in_burst_cohort:
+                preload.extend(
+                    KVRecord.make(
+                        self._hot_key(feed_id, suffix), bytes(self.record_size_bytes)
+                    )
+                    for suffix in hot_suffixes
+                )
             spec = FeedSpec(
                 feed_id=feed_id,
                 config=self._config(rng),
-                preload=self._preload(feed_id),
+                preload=preload,
                 max_ops_per_epoch=quota_ops,
                 max_gas_per_epoch=quota_gas,
             )
-            schedule.initial.append(
-                TenantJoin(
-                    at_epoch=0,
-                    spec=spec,
-                    operations=tuple(
-                        self._synthetic_ops(feed_id, self.ops_per_feed, rng)
-                    ),
+            operations = self._synthetic_ops(feed_id, self.ops_per_feed, rng)
+            if in_burst_cohort:
+                operations = self._splice_hot_bursts(
+                    feed_id, operations, burst_epochs, burst_pattern
                 )
+            schedule.initial.append(
+                TenantJoin(at_epoch=0, spec=spec, operations=tuple(operations))
             )
 
         # Mid-run arrivals: burst tenants first (each with a paired leave),

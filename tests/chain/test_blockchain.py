@@ -25,6 +25,10 @@ class CounterContract(Contract):
         self.storage.store(ctx.meter, "poison", b"\x01")
         self.require(False, "always fails")
 
+    def emit_then_fail(self, ctx):
+        self.emit(ctx, "Phantom", value=1)
+        self.require(False, "fails after emitting")
+
 
 @pytest.fixture
 def deployed_chain(chain):
@@ -93,6 +97,26 @@ class TestExecution:
         before = deployed_chain.ledger.total
         deployed_chain.execute_call("user", "counter", "increment")
         assert deployed_chain.ledger.total == before
+
+    def test_reverted_internal_call_leaks_no_events_into_next_call(self, deployed_chain):
+        """The reused call frame must drop a reverted call's emitted events:
+        a later internal call under the same attribution would otherwise
+        flush the phantom events into the log."""
+        with pytest.raises(ContractError):
+            deployed_chain.execute_internal_call("user", "counter", "emit_then_fail")
+        assert len(deployed_chain.event_log) == 0
+        deployed_chain.execute_internal_call("user", "counter", "increment")
+        events = list(deployed_chain.event_log)
+        assert [event.name for event in events] == ["Incremented"]
+
+    def test_reverted_buffered_internal_call_leaks_no_events(self, deployed_chain):
+        with deployed_chain.isolated_execution() as buffer:
+            with pytest.raises(ContractError):
+                deployed_chain.execute_internal_call(
+                    "user", "counter", "emit_then_fail"
+                )
+            deployed_chain.execute_internal_call("user", "counter", "increment")
+        assert [event.name for event in buffer.events] == ["Incremented"]
 
     def test_internal_call_events_reach_log_immediately(self, deployed_chain):
         deployed_chain.execute_internal_call("user", "counter", "increment")

@@ -1,21 +1,25 @@
 """Parallel epoch engine: bit-identical to serial, deterministic, warm cache.
 
-The engine's contract is strict: ``num_workers`` may only change wall-clock
-time.  Telemetry, per-feed gas bills and final chain state must be equal to
-the bit for any worker count, and two parallel runs must be identical to each
-other.  These tests pin that over a mixed fleet (different algorithms, k
-values, record sizes and workload shapes per feed).
+The engine's contract is strict: neither ``num_workers`` nor the execution
+backend (``serial`` / ``thread`` / ``process``) may change anything but
+wall-clock time.  Telemetry, per-feed gas bills and final chain state must be
+equal to the bit for any backend and worker count, and two runs of the same
+configuration must be identical to each other.  These tests pin that over a
+mixed fleet (different algorithms, k values, record sizes and workload shapes
+per feed) — including the process backend, whose feeds execute in separate
+worker processes and whose results are spliced back in shard order.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.chain.chain import ChainParameters
 from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
 from repro.common.errors import ConfigurationError
 from repro.common.types import KVRecord, Operation
 from repro.core.config import GrubConfig
-from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec
+from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec, GasAwareShardPlanner
 from repro.workloads.synthetic import SyntheticWorkload
 
 
@@ -59,7 +63,17 @@ def chain_state_fingerprint(registry: FeedRegistry) -> dict:
     return {
         "height": registry.chain.height,
         "events": [
-            (e.contract, e.name, sorted(e.payload.items(), key=repr))
+            # Block stamps included deliberately: the process backend must
+            # reproduce not just the event stream but the very block numbers
+            # a serial run records (workers pad their local chains to the
+            # main chain's height before driving).
+            (
+                e.contract,
+                e.name,
+                e.block_number,
+                e.transaction_index,
+                sorted(e.payload.items(), key=repr),
+            )
             for e in registry.chain.event_log
         ],
         "ledger_total": ledger.total,
@@ -85,10 +99,13 @@ def chain_state_fingerprint(registry: FeedRegistry) -> dict:
     }
 
 
-def run_fleet(num_workers: int, num_shards: int = 4):
+def run_fleet(num_workers: int, num_shards: int = 4, execution_mode: str = "thread"):
     registry, workloads = build_mixed_fleet()
     scheduler = EpochScheduler(
-        registry, num_shards=num_shards, num_workers=num_workers
+        registry,
+        num_shards=num_shards,
+        num_workers=num_workers,
+        execution_mode=execution_mode,
     )
     fleet = scheduler.run(workloads)
     return fleet, registry
@@ -133,6 +150,161 @@ class TestParallelSerialEquivalence:
         registry, _ = build_mixed_fleet()[0], None
         with pytest.raises(ConfigurationError):
             EpochScheduler(registry, num_workers=0)
+
+
+class TestExecutionModeEquivalence:
+    """serial / thread / process must be indistinguishable in every output."""
+
+    def test_three_modes_bit_identical(self):
+        serial_fleet, serial_registry = run_fleet(1, execution_mode="serial")
+        thread_fleet, thread_registry = run_fleet(4, execution_mode="thread")
+        process_fleet, process_registry = run_fleet(2, execution_mode="process")
+
+        serial_print = serial_fleet.fingerprint()
+        assert thread_fleet.fingerprint() == serial_print
+        assert process_fleet.fingerprint() == serial_print
+
+        serial_chain = chain_state_fingerprint(serial_registry)
+        assert chain_state_fingerprint(thread_registry) == serial_chain
+        assert chain_state_fingerprint(process_registry) == serial_chain
+
+        # Per-feed gas bills straight from the ledger's scopes.
+        for feed_id in serial_fleet.feeds:
+            for layer in (LAYER_FEED, LAYER_APPLICATION):
+                expected = serial_registry.chain.ledger.scope_total(feed_id, layer)
+                assert process_registry.chain.ledger.scope_total(feed_id, layer) == expected
+
+    def test_block_gas_overflow_accounting_identical_across_modes(self):
+        """Overflow is derived from a block's gas on whichever chain mines
+        it; the worker's local derivation must not also ship in the ledger
+        delta (that double-counted it once)."""
+
+        def run(mode, workers):
+            parameters = ChainParameters(block_gas_limit=50_000)
+            registry = FeedRegistry(parameters=parameters)
+            config = GrubConfig(
+                epoch_size=8,
+                algorithm="memoryless",
+                k=1,
+                chain_parameters=parameters,
+            )
+            workloads = {}
+            for index in range(4):
+                feed_id = f"feed-{index:02d}"
+                registry.create_feed(
+                    FeedSpec(
+                        feed_id=feed_id,
+                        config=config,
+                        preload=[
+                            KVRecord.make(f"f{index}-{j:02d}", bytes(32))
+                            for j in range(8)
+                        ],
+                    )
+                )
+                workloads[feed_id] = SyntheticWorkload(
+                    read_write_ratio=1.0,
+                    num_operations=32,
+                    num_keys=6,
+                    key_prefix=f"f{index}-",
+                    seed=index + 1,
+                ).operations()
+            scheduler = EpochScheduler(
+                registry, num_shards=2, num_workers=workers, execution_mode=mode
+            )
+            scheduler.run(workloads)
+            return dict(registry.chain.ledger.by_category)
+
+        serial = run("serial", 1)
+        process = run("process", 2)
+        # The scenario must actually overflow the tiny limit, else it tests
+        # nothing.
+        assert serial.get("block_gas_limit_overflow", 0) > 0
+        assert process == serial
+
+    def test_process_lane_count_never_changes_output(self):
+        one_lane, _ = run_fleet(1, execution_mode="process")
+        many_lanes, _ = run_fleet(4, execution_mode="process")
+        assert one_lane.fingerprint() == many_lanes.fingerprint()
+
+    def test_process_mode_syncs_mirrors_for_post_run_inspection(self):
+        serial_fleet, serial_registry = run_fleet(1, execution_mode="serial")
+        process_fleet, process_registry = run_fleet(2, execution_mode="process")
+        for feed_id in serial_fleet.feeds:
+            serial_handle = serial_registry.get(feed_id)
+            process_handle = process_registry.get(feed_id)
+            # Contract mirrors: storage, root, replica count, call history.
+            assert (
+                process_handle.storage_manager.storage.slots
+                == serial_handle.storage_manager.storage.slots
+            )
+            assert (
+                process_handle.storage_manager.root_hash()
+                == serial_handle.storage_manager.root_hash()
+            )
+            assert process_handle.replicated_on_chain == serial_handle.replicated_on_chain
+            # Off-chain mirrors: report, SP store root, DO trusted root.
+            assert process_handle.report.gas_feed == serial_handle.report.gas_feed
+            assert process_handle.report.operations == serial_handle.report.operations
+            assert (
+                process_handle.system.sp_store.root == serial_handle.system.sp_store.root
+            )
+            assert (
+                process_handle.data_owner.trusted_root
+                == serial_handle.data_owner.trusted_root
+            )
+            # Consumer state (callbacks received) synced from the worker.
+            assert (
+                process_handle.consumer.deliveries() == serial_handle.consumer.deliveries()
+            )
+
+
+class TestProcessModeConstraints:
+    def test_serial_mode_rejects_extra_workers(self):
+        registry, _ = build_mixed_fleet()
+        with pytest.raises(ConfigurationError):
+            EpochScheduler(registry, num_workers=4, execution_mode="serial")
+
+    def test_unknown_mode_rejected(self):
+        registry, _ = build_mixed_fleet()
+        with pytest.raises(ConfigurationError):
+            EpochScheduler(registry, execution_mode="fiber")
+
+    def test_process_mode_rejects_churn(self):
+        registry, workloads = build_mixed_fleet()
+        scheduler = EpochScheduler(
+            registry, num_shards=4, num_workers=2, execution_mode="process"
+        )
+        scheduler.admit(
+            FeedSpec(feed_id="late", config=GrubConfig(epoch_size=8)),
+            [Operation.read("k")],
+            at_epoch=1,
+        )
+        with pytest.raises(ConfigurationError, match="pins feeds"):
+            scheduler.run(workloads)
+
+    def test_process_mode_rejects_unstable_planner(self):
+        registry, workloads = build_mixed_fleet()
+        scheduler = EpochScheduler(
+            registry,
+            num_workers=2,
+            execution_mode="process",
+            planner=GasAwareShardPlanner(),
+        )
+        with pytest.raises(ConfigurationError, match="stable shard plan"):
+            scheduler.run(workloads)
+
+    def test_process_mode_rejects_persistent_stores(self, tmp_path):
+        registry = FeedRegistry()
+        spec = FeedSpec(
+            feed_id="lsm-feed",
+            config=GrubConfig(epoch_size=8),
+            store_backend="lsm",
+            store_directory=tmp_path / "lsm-feed",
+        )
+        registry.create_feed(spec)
+        scheduler = EpochScheduler(registry, num_workers=2, execution_mode="process")
+        with pytest.raises(ConfigurationError, match="memory-backed"):
+            scheduler.run({"lsm-feed": [Operation.read("k")]})
 
 
 class TestDeliverCacheWarmUp:

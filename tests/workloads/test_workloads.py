@@ -346,3 +346,66 @@ class TestFleetChurnWorkload:
             FleetChurnWorkload(burst_tenants=2, joins=2, leaves=1)
         with pytest.raises(ConfigurationError):
             FleetChurnWorkload(base_feeds=2, leaves=4, joins=4, burst_tenants=0)
+        with pytest.raises(ConfigurationError):
+            FleetChurnWorkload(correlated_hot_keys=True, hot_keys=0)
+        with pytest.raises(ConfigurationError):
+            FleetChurnWorkload(
+                correlated_hot_keys=True, hot_burst_epochs=10, horizon_epochs=10
+            )
+
+    def test_correlated_hot_keys_off_by_default(self):
+        schedule = self._generate()
+        assert schedule.hot_burst_epochs == []
+        assert schedule.hot_suffixes == []
+
+    def test_correlated_hot_keys_share_suffixes_and_burst_epochs(self):
+        epoch_size = 8
+        schedule = self._generate(
+            correlated_hot_keys=True, hot_keys=4, hot_burst_epochs=2
+        )
+        assert len(schedule.hot_burst_epochs) == 2
+        assert schedule.hot_suffixes == [f"hot-{i:03d}" for i in range(4)]
+
+        burst_suffix_patterns = []
+        quota_ids = set(schedule.quota_feed_ids())
+        assert quota_ids, "default config must exercise the quota exclusion"
+        for join in schedule.initial:
+            feed_id = join.feed_id
+            ops = list(join.operations)
+            preload_keys = {record.key for record in join.spec.preload}
+            if feed_id in quota_ids:
+                # Quota feeds defer operations, so a spliced burst would not
+                # execute in the synchronized epoch — they must be excluded
+                # entirely (no hot preload, no burst reads).
+                assert not any("-hot-" in key for key in preload_keys)
+                assert not any("-hot-" in op.key for op in ops)
+                continue
+            # Every burst-cohort feed's preload carries its copy of the
+            # shared hot keyset.
+            for suffix in schedule.hot_suffixes:
+                assert f"{feed_id}-{suffix}" in preload_keys
+            # At every synchronized burst epoch the feed reads exactly the
+            # hot keyset for one whole epoch.  (Unquota'd feeds consume
+            # exactly epoch_size ops per epoch, so stream offsets are epoch
+            # boundaries of the executed run.)
+            pattern = []
+            for burst_epoch in schedule.hot_burst_epochs:
+                start = burst_epoch * epoch_size
+                burst = ops[start : start + epoch_size]
+                assert len(burst) == epoch_size
+                for op in burst:
+                    assert op.is_read
+                    prefix, suffix = op.key.split("-hot-")
+                    assert prefix == feed_id
+                    pattern.append(f"hot-{suffix}")
+            burst_suffix_patterns.append(tuple(pattern))
+        # The *same* suffix sequence in the *same* epochs for every cohort
+        # feed — that is the cross-feed correlation the planner and cache see.
+        assert len(set(burst_suffix_patterns)) == 1
+
+    def test_correlated_schedule_is_reproducible(self):
+        first = self._generate(correlated_hot_keys=True)
+        second = self._generate(correlated_hot_keys=True)
+        assert first.hot_burst_epochs == second.hot_burst_epochs
+        for a, b in zip(first.initial, second.initial):
+            assert list(a.operations) == list(b.operations)
