@@ -44,7 +44,14 @@ from pathlib import Path
 
 from repro.analysis.reporting import format_gas, format_rate, format_table
 from repro.gateway import EpochScheduler, FeedRegistry, GasAwareShardPlanner
+from repro.obs import Observability
+from repro.obs.export import format_duration
 from repro.workloads.fleet_churn import FleetChurnWorkload
+
+#: Synchronized-burst scenario (the cross-feed correlation stub from the
+#: roadmap): every resident shares a hot keyset and bursts in the same epochs.
+HOT_KEYS = 4
+HOT_BURST_EPOCHS = 3
 
 NUM_BASE_FEEDS = 32
 JOINS = 10
@@ -62,7 +69,9 @@ BLOCK_GAS_FRACTION = 0.02
 DEFAULT_SEED = 20260730
 
 
-def build_schedule(seed: int, ops_per_feed: int) -> FleetChurnWorkload:
+def build_schedule(
+    seed: int, ops_per_feed: int, *, correlated: bool = False
+) -> FleetChurnWorkload:
     return FleetChurnWorkload(
         seed=seed,
         base_feeds=NUM_BASE_FEEDS,
@@ -73,17 +82,28 @@ def build_schedule(seed: int, ops_per_feed: int) -> FleetChurnWorkload:
         epoch_size=EPOCH_SIZE,
         ops_per_feed=ops_per_feed,
         quota_feeds=QUOTA_FEEDS,
+        correlated_hot_keys=correlated,
+        hot_keys=HOT_KEYS,
+        hot_burst_epochs=HOT_BURST_EPOCHS,
     )
 
 
-def run_fleet(seed: int, ops_per_feed: int, num_workers: int):
-    schedule = build_schedule(seed, ops_per_feed).generate()
+def run_fleet(
+    seed: int,
+    ops_per_feed: int,
+    num_workers: int,
+    *,
+    correlated: bool = False,
+    obs: Observability | None = None,
+):
+    schedule = build_schedule(seed, ops_per_feed, correlated=correlated).generate()
     registry = FeedRegistry()
     scheduler = EpochScheduler(
         registry,
         num_workers=num_workers,
         epoch_size=EPOCH_SIZE,
         planner=GasAwareShardPlanner(block_gas_fraction=BLOCK_GAS_FRACTION),
+        obs=obs,
     )
     workloads = schedule.install(registry, scheduler)
     fleet = scheduler.run(workloads)
@@ -119,6 +139,141 @@ def check_invariants(schedule, registry, serial_fleet, parallel_fleet) -> list:
             violations.append(f"op conservation violated for {feed_id}")
             break
     return violations
+
+
+def observability_record(seed: int, ops_per_feed: int, serial_fleet) -> dict:
+    """One extra *traced* serial run: per-phase latency + planner bin metrics.
+
+    The measured runs above stay observability-off; the traced run must land
+    on the same fingerprint or its numbers describe some other benchmark.
+    """
+    obs = Observability()
+    _, _, fleet = run_fleet(seed, ops_per_feed, num_workers=1, obs=obs)
+    if fleet.fingerprint() != serial_fleet.fingerprint():
+        raise AssertionError("traced serial run diverged from the untraced one")
+    percentiles = obs.phase_percentiles()
+    snapshot = obs.snapshot()
+    utilization = snapshot["histograms"]["planner_bin_utilization"]
+    print()
+    print(
+        format_table(
+            ["phase", "n", "p50", "p95", "p99"],
+            [
+                (
+                    phase,
+                    row["count"],
+                    format_duration(row["p50"]),
+                    format_duration(row["p95"]),
+                    format_duration(row["p99"]),
+                )
+                for phase, row in percentiles.items()
+            ],
+            title="Per-phase latency (traced serial run, excluded from timings)",
+        )
+    )
+    print(
+        f"planner bins: {utilization['count']} packed under the gas budget, "
+        f"utilization p50 {utilization['p50']:.2f} / p95 {utilization['p95']:.2f}, "
+        f"peak {obs.histogram('planner_bin_utilization').percentile(100.0):.2f}"
+    )
+    return {
+        "note": (
+            "separate traced serial run; timings elsewhere in this file were "
+            "taken with observability disabled"
+        ),
+        "phase_percentiles": {
+            phase: {
+                "count": row["count"],
+                "p50": round(row["p50"], 6),
+                "p95": round(row["p95"], 6),
+                "p99": round(row["p99"], 6),
+            }
+            for phase, row in percentiles.items()
+        },
+        "planner": {
+            "plans_total": snapshot["counters"]["planner_plans_total"],
+            "overflow_bins_total": snapshot["counters"].get(
+                "planner_overflow_bins_total", 0
+            ),
+            "bin_utilization": {
+                "count": utilization["count"],
+                "p50": round(utilization["p50"], 4),
+                "p95": round(utilization["p95"], 4),
+                "p99": round(utilization["p99"], 4),
+                "max": round(
+                    obs.histogram("planner_bin_utilization").percentile(100.0), 4
+                ),
+            },
+        },
+    }
+
+
+def run_correlated_hot_keys(seed: int, ops_per_feed: int) -> dict:
+    """Drive the ``correlated_hot_keys`` scenario through the churn engine.
+
+    Every resident bursts over the same hot keyset in the same epochs, so the
+    gas-aware planner sees every bin fill at once instead of independent noise
+    averaging out.  Recorded: the burst epochs, the shard-plan width series,
+    and how hot the bins ran.  Hard checks: parallel equivalence holds under
+    the synchronized bursts, and no settlement block breaches the gas limit.
+    """
+    obs = Observability()
+    schedule, registry, fleet = run_fleet(
+        seed, ops_per_feed, num_workers=1, correlated=True, obs=obs
+    )
+    _, _, parallel_fleet = run_fleet(
+        seed, ops_per_feed, num_workers=4, correlated=True
+    )
+    violations = []
+    if parallel_fleet.fingerprint() != fleet.fingerprint():
+        violations.append("correlated: parallel telemetry differs from serial")
+    limit = registry.chain.parameters.block_gas_limit
+    oversized = [b.number for b in registry.chain.blocks if b.gas_used > limit]
+    if oversized:
+        violations.append(f"correlated: blocks over the gas limit: {oversized}")
+    if violations:
+        raise AssertionError("; ".join(violations))
+
+    snapshot = obs.snapshot()
+    utilization = snapshot["histograms"]["planner_bin_utilization"]
+    shards = list(fleet.shards_per_epoch)
+    burst_epochs = [e for e in schedule.hot_burst_epochs if e < len(shards)]
+    calm_epochs = [e for e in range(len(shards)) if e not in burst_epochs]
+
+    def mean_width(epochs):
+        return round(sum(shards[e] for e in epochs) / len(epochs), 2) if epochs else None
+
+    max_block_gas = max(block.gas_used for block in registry.chain.blocks)
+    print(
+        f"correlated hot keys: {len(schedule.hot_suffixes)} shared keys, "
+        f"bursts at epochs {burst_epochs}; shard plan width "
+        f"{mean_width(burst_epochs)} (burst) vs {mean_width(calm_epochs)} (calm), "
+        f"bin utilization p95 {utilization['p95']:.2f}; "
+        f"largest block {format_gas(max_block_gas)} of {format_gas(limit)} "
+        f"(overflow: 0); parallel fingerprint identical"
+    )
+    return {
+        "hot_keys": len(schedule.hot_suffixes),
+        "hot_burst_epochs": burst_epochs,
+        "shards_per_epoch": shards,
+        "mean_shards_burst_epochs": mean_width(burst_epochs),
+        "mean_shards_calm_epochs": mean_width(calm_epochs),
+        "bin_utilization": {
+            "count": utilization["count"],
+            "p50": round(utilization["p50"], 4),
+            "p95": round(utilization["p95"], 4),
+            "max": round(
+                obs.histogram("planner_bin_utilization").percentile(100.0), 4
+            ),
+        },
+        "overflow_bins_total": snapshot["counters"].get(
+            "planner_overflow_bins_total", 0
+        ),
+        "cache_hit_rate": round(fleet.cache_hit_rate, 4),
+        "max_block_gas": max_block_gas,
+        "block_gas_limit": limit,
+        "equivalence": "parallel fingerprint bit-identical under synchronized bursts",
+    }
 
 
 def run_benchmark(seed: int, ops_per_feed: int) -> dict:
@@ -222,6 +377,8 @@ def run_benchmark(seed: int, ops_per_feed: int) -> dict:
             "block_gas_limit_overflow": 0,
             "cache_hit_rate": round(serial_fleet.cache_hit_rate, 4),
         },
+        "observability": observability_record(seed, ops_per_feed, serial_fleet),
+        "correlated_hot_keys": run_correlated_hot_keys(seed, ops_per_feed),
     }
 
 

@@ -49,6 +49,8 @@ from repro.common.types import KVRecord, Operation
 from repro.core.config import GrubConfig
 from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec
 from repro.analysis.reporting import format_rate, format_table
+from repro.obs import Observability
+from repro.obs.export import format_duration
 from repro.workloads.synthetic import SyntheticWorkload
 
 NUM_FEEDS = 32
@@ -163,6 +165,70 @@ def run_configuration(
     return best
 
 
+def phase_latency_record(
+    workloads: Dict[str, List[Operation]], serial: dict
+) -> dict:
+    """One extra *traced* serial run for the per-phase latency record.
+
+    The measured sweep stays observability-off; this run exists only to put
+    per-phase p50/p95/p99 into the benchmark JSON.  It must still land on the
+    exact serial fingerprint — tracing that changed the run would make the
+    latency record a lie about the sweep it annotates.
+    """
+    obs = Observability()
+    registry = build_registry()
+    scheduler = EpochScheduler(
+        registry,
+        num_shards=NUM_SHARDS,
+        num_workers=1,
+        execution_mode="serial",
+        obs=obs,
+    )
+    fleet = scheduler.run(workloads)
+    if fleet.fingerprint() != serial["fingerprint"]:
+        raise AssertionError("traced serial run diverged from the untraced one")
+    percentiles = obs.phase_percentiles()
+    rows = [
+        (
+            phase,
+            row["count"],
+            format_duration(row["p50"]),
+            format_duration(row["p95"]),
+            format_duration(row["p99"]),
+        )
+        for phase, row in percentiles.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["phase", "n", "p50", "p95", "p99"],
+            rows,
+            title="Per-phase latency (traced serial run, excluded from the sweep)",
+        )
+    )
+    span_count = sum(1 for root in obs.tracer.roots for _ in root.walk())
+    return {
+        "note": (
+            "separate traced serial run; sweep timings above were taken with "
+            "observability disabled"
+        ),
+        "traced_wall_seconds": round(fleet.wall_seconds, 4),
+        "tracing_overhead_vs_serial": round(
+            fleet.wall_seconds / serial["wall_seconds"], 3
+        ),
+        "span_count": span_count,
+        "phase_percentiles": {
+            phase: {
+                "count": row["count"],
+                "p50": round(row["p50"], 6),
+                "p95": round(row["p95"], 6),
+                "p99": round(row["p99"], 6),
+            }
+            for phase, row in percentiles.items()
+        },
+    }
+
+
 def run_sweep(
     worker_counts: Sequence[int],
     process_lanes: Sequence[int],
@@ -263,6 +329,7 @@ def run_sweep(
             "ops_per_sec": serial["ops_per_sec"],
             "gas_per_op": serial["gas_per_op"],
         },
+        "observability": phase_latency_record(workloads, serial),
     }
 
 

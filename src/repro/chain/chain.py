@@ -158,6 +158,12 @@ class Blockchain:
         self.pending: List[Transaction] = []
         self.receipts: Dict[int, TransactionReceipt] = {}
         self._isolation = threading.local()
+        #: Optional :class:`repro.obs.Observability` hook (set by the hosting
+        #: runtime).  Strictly observation-only: mine paths read the wall
+        #: clock and bump counters through it, and nothing it records ever
+        #: feeds back into execution, gas or state — which is why it is
+        #: excluded from every fingerprint and every wire form.
+        self.obs = None
         self._genesis()
 
     # -- isolated execution (parallel epoch engine) ---------------------------
@@ -234,6 +240,8 @@ class Blockchain:
         the entire pending pool; the block gas limit is checked to surface
         configuration errors rather than to split blocks.
         """
+        obs = self.obs
+        started = obs.tracer.clock() if obs is not None else 0.0
         self.clock.advance(self.parameters.block_interval)
         parent_hash = self.blocks[-1].block_hash if self.blocks else EMPTY_DIGEST
         block = Block(
@@ -254,6 +262,10 @@ class Blockchain:
             block_overflow = block.gas_used - self.parameters.block_gas_limit
             self.ledger.by_category["block_gas_limit_overflow"] += block_overflow
         self.blocks.append(block)
+        if obs is not None:
+            obs.counter("chain_blocks_total").inc()
+            obs.counter("chain_transactions_total").inc(len(transactions))
+            obs.histogram("chain_mine_seconds").observe(obs.tracer.clock() - started)
         return block
 
     def mine_recorded_block(
@@ -337,6 +349,9 @@ class Blockchain:
             block_overflow = block.gas_used - self.parameters.block_gas_limit
             self.ledger.by_category["block_gas_limit_overflow"] += block_overflow
         self.blocks.append(block)
+        if self.obs is not None:
+            self.obs.counter("chain_blocks_total").inc()
+            self.obs.counter("chain_transactions_total").inc()
         return block
 
     def mine_until_finalized(self, block_number: int) -> None:

@@ -300,6 +300,8 @@ class StorageManagerContract(Contract):
         """SP transaction answering requests: verify, optionally replicate, call back."""
         root = self.storage.load(ctx.meter, self.ROOT_SLOT)
         self.require(root is not None, "no root hash published yet")
+        obs = getattr(self.chain, "obs", None)
+        verify_started = obs.tracer.clock() if obs is not None else 0.0
         verified = 0
         for item in items:
             self.require(item.proof is not None, f"missing proof for {item.key!r}")
@@ -319,6 +321,11 @@ class StorageManagerContract(Contract):
                 self._invoke_callback(ctx, item.callback, item.key, item.value)
             verified += 1
             self.delivered_records += 1
+        if obs is not None:
+            obs.counter("chain_verify_total").inc(verified)
+            obs.histogram("chain_verify_seconds").observe(
+                obs.tracer.clock() - verify_started
+            )
         return verified
 
     # -- write path -----------------------------------------------------------

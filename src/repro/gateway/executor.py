@@ -81,6 +81,7 @@ from repro.gateway.router import (
     scope_weights_for_deliver,
     scope_weights_for_update,
 )
+from repro.obs.tracing import Tracer
 
 #: Externally-owned account the gateway runtime submits batched transactions
 #: from (defined here so the worker side needs no scheduler import).
@@ -367,6 +368,9 @@ class LaneConfig:
     cache_capacity: Optional[int]
     #: shard index → that shard's feeds, in shard order.
     shards: Dict[int, Tuple[FeedSeed, ...]]
+    #: When set, the lane times per-shard phase spans (its own monotonic
+    #: clock) and ships them back in :attr:`ShardEpochResult.spans`.
+    obs_enabled: bool = False
 
 
 @dataclass(frozen=True)
@@ -414,6 +418,12 @@ class ShardEpochResult:
     update: Optional[SettlementResult]
     #: feed id → operations still queued after this epoch (run termination).
     remaining: Dict[str, int]
+    #: This shard's finished phase spans in wire form (empty when the lane
+    #: runs untraced).  Durations are from the *lane's* clock; the main
+    #: process grafts them into its trace tree in fixed shard order
+    #: (:func:`repro.obs.tracing.reassemble_shard_spans`) and never compares
+    #: their timestamps across processes.
+    spans: Tuple[dict, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -480,6 +490,10 @@ class _LaneWorker:
             parameters=config.parameters,
             router_address=config.router_address,
         )
+        #: Lane-local tracer (own process, own clock).  It only ever creates
+        #: detached spans; the finished spans ship back as wire dicts and the
+        #: main process owns the tree they end up in.
+        self.tracer = Tracer(enabled=config.obs_enabled)
         cache = ReadCache(capacity=config.cache_capacity) if config.cache_enabled else None
         self.env = ShardEnvironment(registry=self.registry, cache=cache)
         self.shards: List[Tuple[int, List[str]]] = []
@@ -517,12 +531,25 @@ class _LaneWorker:
             for feed_id in active
         }
 
+        # Per-shard finished wire spans, shipped back with each shard's
+        # result.  ``_span``/``_ship`` are no-ops on an untraced lane (the
+        # tracer hands out None spans).
+        tracer = self.tracer
+        wire_spans: Dict[int, List[dict]] = {index: [] for index, _ in self.shards}
+
+        def _ship(shard_index: int, span) -> None:
+            if span is not None:
+                tracer.finish(span)
+                wire_spans[shard_index].append(span.to_wire())
+
         # Phase 1: drive every shard, wire the buffers *before* the local
         # absorb clears their event lists, then merge locally in shard order
         # (the worker's own watchdog needs the events in its log).
         drives: List[Tuple[int, List[str], ExecutionBuffer, Dict[str, EpochSummary]]] = []
         for shard_index, shard in self.shards:
+            span = tracer.detached("shard", phase="drive", shard=shard_index)
             buffer, summaries = drive_shard(env, shard, task.epoch, task.epoch_size)
+            _ship(shard_index, span)
             drives.append((shard_index, shard, buffer, summaries))
         drive_wires = {index: buffer.to_wire() for index, _, buffer, _ in drives}
         for _, _, buffer, _ in drives:
@@ -534,9 +561,11 @@ class _LaneWorker:
         delivers: Dict[int, Optional[SettlementResult]] = {}
         deliveries: Dict[str, int] = {feed_id: 0 for feed_id in active}
         for shard_index, shard in self.shards:
+            span = tracer.detached("shard", phase="deliver", shard=shard_index)
             groups = build_deliver_groups(self.registry, shard)
             if not groups:
                 delivers[shard_index] = None
+                _ship(shard_index, span)
                 continue
             result = self._settle(deliver_transaction(self.registry.router.address, groups),
                                   [group.feed_id for group in groups])
@@ -545,16 +574,19 @@ class _LaneWorker:
                 env.feeds[group.feed_id].deliver_groups += 1
             warm_cache_from_deliveries(env, groups)
             delivers[shard_index] = result
+            _ship(shard_index, span)
 
         # Phase 3: per shard, prepare epoch updates and settle them locally.
         updates: Dict[int, Optional[SettlementResult]] = {}
         update_counts: Dict[str, int] = {feed_id: 0 for feed_id in active}
         transitions: Dict[str, Dict[str, ReplicationState]] = {}
         for shard_index, shard in self.shards:
+            span = tracer.detached("shard", phase="update", shard=shard_index)
             groups_u, shard_transitions = prepare_update_groups(self.registry, shard)
             transitions.update(shard_transitions)
             if not groups_u:
                 updates[shard_index] = None
+                _ship(shard_index, span)
                 continue
             result = self._settle(update_transaction(self.registry.router.address, groups_u),
                                   [group.feed_id for group in groups_u])
@@ -562,10 +594,12 @@ class _LaneWorker:
                 update_counts[group.feed_id] += 1
                 env.feeds[group.feed_id].update_groups += 1
             updates[shard_index] = result
+            _ship(shard_index, span)
 
         # Phase 4: per-feed epoch accounting, in shard order.
         results: List[ShardEpochResult] = []
         for shard_index, shard in self.shards:
+            span = tracer.detached("shard", phase="settle", shard=shard_index)
             summaries = next(s for i, _, _, s in drives if i == shard_index)
             for feed_id in shard:
                 settle_feed_epoch(
@@ -577,6 +611,7 @@ class _LaneWorker:
                     transitions=transitions.get(feed_id, {}),
                     gas_before=gas_before[feed_id],
                 )
+            _ship(shard_index, span)
             results.append(
                 ShardEpochResult(
                     shard_index=shard_index,
@@ -584,6 +619,7 @@ class _LaneWorker:
                     deliver=delivers[shard_index],
                     update=updates[shard_index],
                     remaining={feed_id: len(env.queues[feed_id]) for feed_id in shard},
+                    spans=tuple(wire_spans[shard_index]),
                 )
             )
         return results
@@ -710,6 +746,7 @@ class ProcessEngine:
         *,
         cache_enabled: bool,
         cache_capacity: Optional[int],
+        obs_enabled: bool = False,
     ) -> None:
         """Spawn the lanes and ship each its pinned shards' specs/workloads."""
         lanes_used = min(self.num_lanes, max(1, len(shard_plan)))
@@ -734,6 +771,7 @@ class ProcessEngine:
                 cache_enabled=cache_enabled,
                 cache_capacity=cache_capacity,
                 shards=lane_shards[lane],
+                obs_enabled=obs_enabled,
             )
             for lane in self._lane_shards
         }
@@ -754,6 +792,15 @@ class ProcessEngine:
         ]
         for future in startups:
             future.result()
+
+    @property
+    def lane_of(self) -> Dict[int, int]:
+        """shard index → lane index, for labelling grafted lane spans."""
+        return {
+            shard: lane
+            for lane, shards in self._lane_shards.items()
+            for shard in shards
+        }
 
     def run_epoch(
         self, epoch: int, epoch_size: int, chain_height: int

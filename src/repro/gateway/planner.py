@@ -42,9 +42,23 @@ from typing import Dict, List, Sequence
 
 from repro.common.errors import ConfigurationError
 
+#: Bin-utilization histogram bounds: fraction of the per-shard gas budget one
+#: packed bin's estimated load occupies (>1 = the packer accepted an
+#: over-budget single-feed bin).
+_UTILIZATION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.25, 1.5, 2.0, 4.0)
+
+#: Shards-per-plan histogram bounds (a count, not a latency).
+_SHARD_COUNT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
 
 class ShardPlanner:
     """Strategy interface: partition the active fleet into settlement shards."""
+
+    #: Optional :class:`repro.obs.Observability` hook (set by the hosting
+    #: scheduler).  Observation-only: planners may record what they decided,
+    #: never read anything back — plans depend only on feed lists and
+    #: observed gas, which keeps every backend's plans identical.
+    obs = None
 
     def plan(self, feed_ids: Sequence[str], *, block_gas_limit: int) -> List[List[str]]:
         """Group ``feed_ids`` (admission order) into shards for one epoch."""
@@ -145,4 +159,22 @@ class GasAwareShardPlanner(ShardPlanner):
                 # estimate overstates the actual settlement transaction.
                 shards.append([feed_id])
                 loads.append(estimate)
+        obs = self.obs
+        if obs is not None:
+            obs.counter("planner_plans_total").inc()
+            obs.histogram(
+                "planner_shards_per_plan", buckets=_SHARD_COUNT_BUCKETS
+            ).observe(len(shards))
+            overflow_bins = 0
+            for load in loads:
+                utilization = load / budget if budget > 0 else 0.0
+                obs.histogram(
+                    "planner_bin_utilization", buckets=_UTILIZATION_BUCKETS
+                ).observe(utilization)
+                if load > budget:
+                    overflow_bins += 1
+            if overflow_bins:
+                # Bins whose *estimate* already exceeds the budget: feeds the
+                # packer had to give a dedicated over-budget shard.
+                obs.counter("planner_overflow_bins_total").inc(overflow_bins)
         return shards

@@ -131,6 +131,9 @@ from repro.gateway.metrics import FeedTelemetry, FleetTelemetry
 from repro.gateway.planner import RoundRobinPlanner, ShardPlanner
 from repro.gateway.registry import FeedRegistry, FeedSpec
 from repro.gateway.router import DeliverGroup
+from repro.obs import DISABLED, Observability
+from repro.obs.tracing import reassemble_shard_spans
+from repro.storage.lsm import LSMStore
 
 
 @dataclass(frozen=True)
@@ -165,6 +168,7 @@ class EpochScheduler:
         enable_cache: bool = True,
         planner: Optional[ShardPlanner] = None,
         execution_mode: str = "thread",
+        obs: Optional[Observability] = None,
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
@@ -205,7 +209,20 @@ class EpochScheduler:
         self.planner: ShardPlanner = (
             planner if planner is not None else RoundRobinPlanner(num_shards)
         )
+        #: The observability plane (:mod:`repro.obs`).  Defaults to the shared
+        #: disabled instance, so untraced schedulers pay only pointer tests.
+        #: Strictly observation-only — nothing recorded through it feeds back
+        #: into planning, gas or state, which keeps fingerprints bit-identical
+        #: with it on or off, across every backend.
+        self.obs = obs if obs is not None else DISABLED
+        if self.obs.enabled:
+            self.registry.chain.obs = self.obs
+            self.planner.obs = self.obs
         self.cache = read_cache if read_cache is not None else (ReadCache() if enable_cache else None)
+        if self.obs.enabled and self.cache is not None:
+            # Pull-style: cache counters are copied into gauges at snapshot
+            # time, so the cache's own hot path stays untouched.
+            self.obs.registry.register_collector(self._collect_cache_metrics)
         if self.cache is not None and self.cache.invalidate_feed not in registry.removal_listeners:
             # A leaving tenant's entries must not linger (or be served to a
             # later tenant that reuses the feed id).
@@ -338,6 +355,7 @@ class EpochScheduler:
                 )
             self._require_batch_deliver(spec)
             self.registry.create_feed(spec)
+            self._wire_feed_obs(spec.feed_id)
             queues[spec.feed_id] = deque(admission.operations)
             active.append(spec.feed_id)
             self._dirty[spec.feed_id] = set()
@@ -391,9 +409,35 @@ class EpochScheduler:
             # fires the removal listeners (cache shard teardown among them).
             self.registry.remove_feed(feed_id)
 
+    # -- observability plumbing -----------------------------------------------
+
+    def _collect_cache_metrics(self, registry) -> None:
+        """Pull collector: snapshot the read cache's counters into gauges."""
+        stats = self.cache.stats
+        registry.gauge("cache_hits").set(stats.hits)
+        registry.gauge("cache_misses").set(stats.misses)
+        registry.gauge("cache_invalidations").set(stats.invalidations)
+        registry.gauge("cache_evictions").set(stats.evictions)
+        registry.gauge("cache_hit_rate").set(stats.hit_rate)
+        registry.gauge("cache_entries").set(len(self.cache))
+
+    def _wire_feed_obs(self, feed_id: str) -> None:
+        """Attach the obs hook to a feed's LSM store backing (if it has one)."""
+        if not self.obs.enabled:
+            return
+        backing = self.registry.get(feed_id).system.sp_store.backing
+        if isinstance(backing, LSMStore):
+            backing.obs = self.obs
+
     # -- worker-pool plumbing -------------------------------------------------
 
-    def _map_shards(self, fn: Callable, shards: Sequence[List[str]], *args) -> List:
+    def _map_shards(
+        self,
+        fn: Callable,
+        shards: Sequence[List[str]],
+        *args,
+        phase: Optional[str] = None,
+    ) -> List:
         """Apply ``fn(shard, *args)`` to every shard, returning results in
         shard order.
 
@@ -401,11 +445,40 @@ class EpochScheduler:
         thread; otherwise shards run concurrently on the pool.  Either way the
         caller receives results in the fixed shard order, which is what makes
         the subsequent merge deterministic.
+
+        With tracing on and a ``phase`` name given, each shard's call is timed
+        in a detached span (safe off-thread: a worker only reads the clock)
+        and the finished spans are adopted under the currently open phase span
+        afterwards, on this thread, in fixed shard order — so the trace tree
+        is identical whatever the thread interleaving was.
         """
+        tracer = self.obs.tracer
+        traced = phase is not None and tracer.enabled
+
+        def timed(index: int, shard: List[str]):
+            span = (
+                tracer.detached("shard", phase=phase, shard=index)
+                if traced
+                else None
+            )
+            result = fn(shard, *args)
+            if span is not None:
+                tracer.finish(span)
+            return result, span
+
         if self._pool is None or len(shards) <= 1:
-            return [fn(shard, *args) for shard in shards]
-        futures = [self._pool.submit(fn, shard, *args) for shard in shards]
-        return [future.result() for future in futures]
+            outcomes = [timed(index, shard) for index, shard in enumerate(shards)]
+        else:
+            futures = [
+                self._pool.submit(timed, index, shard)
+                for index, shard in enumerate(shards)
+            ]
+            outcomes = [future.result() for future in futures]
+        if traced:
+            parent = tracer.current
+            for _, span in outcomes:
+                tracer.adopt(parent, span)
+        return [result for result, _ in outcomes]
 
     # -- the fleet run --------------------------------------------------------
 
@@ -434,6 +507,8 @@ class EpochScheduler:
         if self.cache is not None:
             for feed_id in active:
                 self.cache.ensure_shard(feed_id)
+        for feed_id in active:
+            self._wire_feed_obs(feed_id)
 
         blocks_before = self.registry.chain.height
         wall_start = time.perf_counter()
@@ -454,27 +529,32 @@ class EpochScheduler:
         self._pool = pool
         epoch = 0
         try:
-            while True:
-                self._apply_churn(epoch, active, queues, fleet)
-                has_work = any(queues[f] for f in active)
-                if not self.pending_churn and not has_work:
-                    break
-                if not has_work:
-                    # Every queue is idle; the run is only waiting out the
-                    # epochs until the next churn event.  Jump straight to
-                    # the earliest one (O(1) per wait, however far off) —
-                    # no summaries, no polling, no blocks, no roster entries
-                    # for the skipped span, whose membership cannot change.
-                    epoch = max(epoch + 1, self._next_churn_epoch())
-                    continue
-                shard_plan = self.planner.plan(
-                    active,
-                    block_gas_limit=self.registry.chain.parameters.block_gas_limit,
-                )
-                fleet.rosters.append((epoch, sorted(active)))
-                fleet.shards_per_epoch.append(len(shard_plan))
-                self._run_epoch(epoch, epoch_size, active, queues, shard_plan, fleet)
-                epoch += 1
+            with self.obs.span("run", mode=self.execution_mode):
+                while True:
+                    self._apply_churn(epoch, active, queues, fleet)
+                    has_work = any(queues[f] for f in active)
+                    if not self.pending_churn and not has_work:
+                        break
+                    if not has_work:
+                        # Every queue is idle; the run is only waiting out the
+                        # epochs until the next churn event.  Jump straight to
+                        # the earliest one (O(1) per wait, however far off) —
+                        # no summaries, no polling, no blocks, no roster
+                        # entries for the skipped span, whose membership
+                        # cannot change.
+                        epoch = max(epoch + 1, self._next_churn_epoch())
+                        continue
+                    shard_plan = self.planner.plan(
+                        active,
+                        block_gas_limit=self.registry.chain.parameters.block_gas_limit,
+                    )
+                    fleet.rosters.append((epoch, sorted(active)))
+                    fleet.shards_per_epoch.append(len(shard_plan))
+                    with self.obs.span("epoch", epoch=epoch):
+                        self._run_epoch(
+                            epoch, epoch_size, active, queues, shard_plan, fleet
+                        )
+                    epoch += 1
         finally:
             self._pool = None
             self._env = None
@@ -539,13 +619,14 @@ class EpochScheduler:
         # the feed's cache shard; writes buffer at the feed's DO).  Gas
         # charges and emitted events land in per-shard buffers, merged below
         # in shard order.
-        drive_results = self._map_shards(
-            self._drive_shard, shard_plan, epoch, epoch_size
-        )
-        summaries: Dict[str, EpochSummary] = {}
-        for buffer, shard_summaries in drive_results:
-            self.registry.chain.absorb(buffer)
-            summaries.update(shard_summaries)
+        with self.obs.phase("drive", epoch=epoch):
+            drive_results = self._map_shards(
+                self._drive_shard, shard_plan, epoch, epoch_size, phase="drive"
+            )
+            summaries: Dict[str, EpochSummary] = {}
+            for buffer, shard_summaries in drive_results:
+                self.registry.chain.absorb(buffer)
+                summaries.update(shard_summaries)
 
         # Phase 2 — the shared watchdog scans the merged log once for the
         # whole fleet; each shard then builds its deliver groups (record
@@ -553,61 +634,68 @@ class EpochScheduler:
         # shard's groups settle in one batched deliver transaction mined into
         # its own block, in shard order — one shard, one block, so the block
         # gas limit bounds exactly what the planner budgeted.
-        self.registry.watchdog.poll()
-        deliveries: Dict[str, int] = {feed_id: 0 for feed_id in active}
-        shard_deliver_groups = self._map_shards(self._build_deliver_groups, shard_plan)
-        delivered_groups: List[DeliverGroup] = []
-        for groups in shard_deliver_groups:
-            if not groups:
-                continue
-            transaction = self.registry.chain.submit(
-                deliver_transaction(self.registry.router.address, groups)
+        with self.obs.phase("deliver", epoch=epoch):
+            self.registry.watchdog.poll()
+            deliveries: Dict[str, int] = {feed_id: 0 for feed_id in active}
+            shard_deliver_groups = self._map_shards(
+                self._build_deliver_groups, shard_plan, phase="deliver"
             )
-            self.registry.chain.mine_block()
-            self._check_settlement([transaction])
-            fleet.deliver_batches += 1
-            for group in groups:
-                deliveries[group.feed_id] += 1
-                fleet.feeds[group.feed_id].deliver_groups += 1
-                delivered_groups.append(group)
-        warm_cache_from_deliveries(self._env, delivered_groups)
+            delivered_groups: List[DeliverGroup] = []
+            for groups in shard_deliver_groups:
+                if not groups:
+                    continue
+                transaction = self.registry.chain.submit(
+                    deliver_transaction(self.registry.router.address, groups)
+                )
+                self.registry.chain.mine_block()
+                self._check_settlement([transaction])
+                fleet.deliver_batches += 1
+                for group in groups:
+                    deliveries[group.feed_id] += 1
+                    fleet.feeds[group.feed_id].deliver_groups += 1
+                    delivered_groups.append(group)
+            warm_cache_from_deliveries(self._env, delivered_groups)
 
         # Phase 3 — every shard prepares its feeds' epoch updates (control
         # plane + ADS + root signing) concurrently; each shard's payloads
         # land in one grouped update transaction and its own block, in shard
         # order.
-        transitions: Dict[str, Dict[str, ReplicationState]] = {}
-        updates: Dict[str, int] = {feed_id: 0 for feed_id in active}
-        shard_update_results = self._map_shards(self._prepare_update_groups, shard_plan)
-        for groups_u, shard_transitions in shard_update_results:
-            transitions.update(shard_transitions)
-            if not groups_u:
-                continue
-            transaction = self.registry.chain.submit(
-                update_transaction(self.registry.router.address, groups_u)
+        with self.obs.phase("update", epoch=epoch):
+            transitions: Dict[str, Dict[str, ReplicationState]] = {}
+            updates: Dict[str, int] = {feed_id: 0 for feed_id in active}
+            shard_update_results = self._map_shards(
+                self._prepare_update_groups, shard_plan, phase="update"
             )
-            self.registry.chain.mine_block()
-            self._check_settlement([transaction])
-            fleet.update_batches += 1
-            for group in groups_u:
-                updates[group.feed_id] += 1
-                fleet.feeds[group.feed_id].update_groups += 1
+            for groups_u, shard_transitions in shard_update_results:
+                transitions.update(shard_transitions)
+                if not groups_u:
+                    continue
+                transaction = self.registry.chain.submit(
+                    update_transaction(self.registry.router.address, groups_u)
+                )
+                self.registry.chain.mine_block()
+                self._check_settlement([transaction])
+                fleet.update_batches += 1
+                for group in groups_u:
+                    updates[group.feed_id] += 1
+                    fleet.feeds[group.feed_id].update_groups += 1
 
         # Phase 4 — settle per-feed accounting for the epoch, apply
         # replication-keyed cache invalidation (an evicted replica must not be
         # served from the cache), and feed the settled gas back to the shard
         # planner's estimates.
-        for feed_id in active:
-            epoch_gas = settle_feed_epoch(
-                self._env,
-                feed_id,
-                summaries[feed_id],
-                deliveries=deliveries[feed_id],
-                update_transactions=updates[feed_id],
-                transitions=transitions.get(feed_id, {}),
-                gas_before=gas_before[feed_id],
-            )
-            self.planner.observe(feed_id, epoch_gas)
+        with self.obs.phase("settle", epoch=epoch):
+            for feed_id in active:
+                epoch_gas = settle_feed_epoch(
+                    self._env,
+                    feed_id,
+                    summaries[feed_id],
+                    deliveries=deliveries[feed_id],
+                    update_transactions=updates[feed_id],
+                    transitions=transitions.get(feed_id, {}),
+                    gas_before=gas_before[feed_id],
+                )
+                self.planner.observe(feed_id, epoch_gas)
 
     # -- per-shard work (runs on worker threads) ------------------------------
     #
@@ -705,26 +793,34 @@ class EpochScheduler:
                 queues,
                 cache_enabled=self.cache is not None,
                 cache_capacity=self.cache.capacity if self.cache is not None else None,
+                obs_enabled=self.obs.enabled,
             )
-            while any(remaining.values()):
-                fleet.rosters.append((epoch, sorted(active)))
-                fleet.shards_per_epoch.append(len(shard_plan))
-                results = engine.run_epoch(epoch, epoch_size, chain.height)
-                # Deterministic merge, mirroring the serial phase order:
-                # every shard's drive buffer, then one recorded block per
-                # shard deliver, then one per shard update — all in fixed
-                # shard order.
-                for result in results:
-                    chain.absorb(drive_buffer(result))
-                for result in results:
-                    if result.deliver is not None:
-                        self._record_settlement(result.deliver, fleet)
-                for result in results:
-                    if result.update is not None:
-                        self._record_settlement(result.update, fleet)
-                for result in results:
-                    remaining.update(result.remaining)
-                epoch += 1
+            with self.obs.span("run", mode="process"):
+                while any(remaining.values()):
+                    fleet.rosters.append((epoch, sorted(active)))
+                    fleet.shards_per_epoch.append(len(shard_plan))
+                    with self.obs.span("epoch", epoch=epoch) as epoch_span:
+                        results = engine.run_epoch(epoch, epoch_size, chain.height)
+                        # The lanes' per-shard phase spans graft under this
+                        # epoch in fixed shard order, before the merge span,
+                        # so the tree reads in canonical phase order.
+                        self._graft_lane_spans(epoch_span, results, engine)
+                        # Deterministic merge, mirroring the serial phase
+                        # order: every shard's drive buffer, then one
+                        # recorded block per shard deliver, then one per
+                        # shard update — all in fixed shard order.
+                        with self.obs.phase("merge", epoch=epoch):
+                            for result in results:
+                                chain.absorb(drive_buffer(result))
+                            for result in results:
+                                if result.deliver is not None:
+                                    self._record_settlement(result.deliver, fleet)
+                            for result in results:
+                                if result.update is not None:
+                                    self._record_settlement(result.update, fleet)
+                    for result in results:
+                        remaining.update(result.remaining)
+                    epoch += 1
             # Run over: pull every worker's final feed state back into the
             # main registry's mirrors, so post-run inspection (contract
             # storage, roots, reports, cache) sees serial-identical state.
@@ -739,6 +835,28 @@ class EpochScheduler:
         fleet.blocks_mined = chain.height - blocks_before
         self.epochs_run += epoch
         return fleet
+
+    def _graft_lane_spans(self, epoch_span, results, engine: ProcessEngine) -> None:
+        """Fold the lanes' per-shard phase spans into the main trace tree.
+
+        Spans arrive as plain-data wire deltas on each :class:`ShardEpochResult`
+        (like the drive buffers); they are grafted under per-phase parents in
+        fixed shard order, and each shard span's duration feeds the phase
+        latency histograms — in process mode the phase's real time lives in
+        the lanes, so that is where the percentiles must come from.
+        """
+        if epoch_span is None:
+            return
+        phase_parents = reassemble_shard_spans(
+            epoch_span,
+            [(result.shard_index, result.spans) for result in results],
+            lane_of=engine.lane_of,
+        )
+        for parent in phase_parents:
+            for span in parent.children:
+                self.obs.observe_phase(
+                    str(span.attrs.get("phase", span.name)), span.duration
+                )
 
     def _record_settlement(self, result: SettlementResult, fleet: FleetTelemetry) -> None:
         """Record one worker-executed settlement on the main chain: mine its

@@ -36,6 +36,11 @@ class LSMConfig:
 class LSMStore(KVStore):
     """A log-structured merge-tree store with the :class:`KVStore` interface."""
 
+    #: Optional :class:`repro.obs.Observability` hook (set by the hosting
+    #: runtime).  Observation-only: flush/compaction decisions depend solely
+    #: on memtable size and table count, never on anything recorded here.
+    obs = None
+
     def __init__(
         self,
         directory: Optional[Path] = None,
@@ -120,6 +125,8 @@ class LSMStore(KVStore):
         """Freeze the current memtable into a new SSTable (no-op when empty)."""
         if self.memtable.is_empty:
             return None
+        obs = self.obs
+        started = obs.tracer.clock() if obs is not None else 0.0
         table = SSTable.from_memtable_items(self.memtable.items(), TOMBSTONE)
         self.sstables.append(table)
         self.memtable = MemTable()
@@ -127,6 +134,9 @@ class LSMStore(KVStore):
         if self.directory is not None:
             table.write_to(self.directory / f"sstable-{table.sequence:08d}.sst")
             self._truncate_wal()
+        if obs is not None:
+            obs.counter("lsm_flushes_total").inc()
+            obs.histogram("lsm_flush_seconds").observe(obs.tracer.clock() - started)
         self._maybe_compact()
         return table
 
@@ -134,6 +144,8 @@ class LSMStore(KVStore):
         """Merge every SSTable into one (a major compaction)."""
         if not self.sstables:
             raise StorageError("nothing to compact")
+        obs = self.obs
+        started = obs.tracer.clock() if obs is not None else 0.0
         merged = merge_tables(self.sstables, drop_tombstones=True)
         if self.directory is not None:
             for table in self.sstables:
@@ -143,6 +155,9 @@ class LSMStore(KVStore):
             merged.write_to(self.directory / f"sstable-{merged.sequence:08d}.sst")
         self.sstables = [merged]
         self.compactions += 1
+        if obs is not None:
+            obs.counter("lsm_compactions_total").inc()
+            obs.histogram("lsm_compact_seconds").observe(obs.tracer.clock() - started)
         return merged
 
     def _maybe_flush(self) -> None:

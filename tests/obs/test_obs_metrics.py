@@ -1,0 +1,220 @@
+"""Metric instruments: bucket math, exact percentiles, disabled registries.
+
+The histogram's percentile claims are the load-bearing part — benchmark
+records and operator reports quote them — so they are property-tested against
+the independent sorted-list nearest-rank reference, and the bucket counts are
+checked for the placement/monotonicity/conservation invariants the Prometheus
+form relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    percentile_reference,
+)
+
+samples_strategy = st.lists(
+    st.floats(
+        min_value=0.0,
+        max_value=1e4,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestLogBuckets:
+    def test_strictly_increasing_and_spanning(self):
+        bounds = log_buckets()
+        assert all(b > a for a, b in zip(bounds, bounds[1:]))
+        assert bounds[0] == pytest.approx(1e-5)
+        assert bounds[-1] > 10.0  # spans up to tens of seconds
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_buckets(start=0.0)
+        with pytest.raises(ConfigurationError):
+            log_buckets(factor=1.0)
+        with pytest.raises(ConfigurationError):
+            log_buckets(count=0)
+
+
+class TestHistogramBuckets:
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_each_sample_lands_in_its_bucket(self, samples):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        # Recompute bucket placement independently: the count of bucket i is
+        # the number of samples in (bounds[i-1], bounds[i]].
+        bounds = histogram.bounds
+        expected = [0] * (len(bounds) + 1)
+        for value in samples:
+            for index, bound in enumerate(bounds):
+                if value <= bound:
+                    expected[index] += 1
+                    break
+            else:
+                expected[-1] += 1
+        assert histogram.bucket_counts == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_cumulative_form_is_monotone_and_conserving(self, samples):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        cumulative = histogram.cumulative_buckets()
+        counts = [count for _, count in cumulative]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert cumulative[-1][0] == math.inf
+        assert cumulative[-1][1] == len(samples) == histogram.count
+        assert histogram.total == pytest.approx(sum(samples))
+
+    def test_custom_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_nan_rejected(self):
+        histogram = Histogram("h")
+        with pytest.raises(ConfigurationError):
+            histogram.observe(float("nan"))
+
+
+class TestPercentiles:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        samples_strategy,
+        st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+    )
+    def test_matches_sorted_list_reference(self, samples, q):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        assert histogram.percentile(q) == percentile_reference(samples, q)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_percentile_is_an_observed_sample(self, samples):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        for q in (50.0, 95.0, 99.0, 100.0):
+            assert histogram.percentile(q) in samples
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_percentiles_are_monotone_in_q(self, samples):
+        histogram = Histogram("h")
+        for value in samples:
+            histogram.observe(value)
+        values = [histogram.percentile(q) for q in (10, 25, 50, 75, 90, 95, 99, 100)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_p100_is_max_p_small_is_min(self):
+        histogram = Histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.percentile(100.0) == 3.0
+        assert histogram.percentile(0.001) == 1.0
+
+    def test_empty_histogram_has_no_percentiles(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(50.0) is None
+        assert histogram.mean is None
+        assert histogram.report_percentiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_invalid_q_rejected(self):
+        histogram = Histogram("h")
+        histogram.observe(1.0)
+        for bad in (0.0, -1.0, 100.5):
+            with pytest.raises(ConfigurationError):
+                histogram.percentile(bad)
+
+
+class TestCounterAndGauge:
+    def test_counter_only_goes_up(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_goes_anywhere(self):
+        gauge = Gauge("g")
+        gauge.set(4.0)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.histogram("lat", phase="drive")
+        b = registry.histogram("lat", phase="drive")
+        c = registry.histogram("lat", phase="settle")
+        assert a is b
+        assert a is not c
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_disabled_registry_hands_out_inert_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("c")
+        counter.inc(100)
+        assert counter.value == 0
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        assert histogram.count == 0
+        # The null instruments are shared: no per-call-site allocation.
+        assert registry.counter("other") is counter
+        assert registry.instruments() == []
+
+    def test_collectors_run_at_snapshot_and_register_once(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def collector(reg):
+            calls.append(1)
+            reg.gauge("pulled").set(7)
+
+        registry.register_collector(collector)
+        registry.register_collector(collector)  # identity-idempotent
+        snapshot = registry.snapshot()
+        assert calls == [1]
+        assert snapshot["gauges"]["pulled"] == 7
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="x").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {'c{kind="x"}': 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+        entry = snapshot["histograms"]["h"]
+        assert entry["count"] == 1
+        assert entry["sum"] == pytest.approx(0.25)
+        assert entry["p50"] == entry["p95"] == entry["p99"] == 0.25
+        assert entry["buckets"][-1][1] == 1
