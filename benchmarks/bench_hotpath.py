@@ -17,6 +17,18 @@ versus the serial run.  Three hard checks:
   figure recorded in ``FILE``; the CI ``perf-regression`` job runs this
   against the committed ``BENCH_hotpath.json``.
 
+Process-mode sweep records always carry the run's IPC meter summary (wire
+bytes per epoch, encode/decode seconds, per-lane rows).  ``--profile-ipc``
+additionally has each worker measure what the same epoch results would have
+cost as a generic protocol-5 pickle, recording the codec's
+``reduction_vs_pickle``; ``--check-ipc-regression FILE`` fails the run if any
+fresh process configuration's ``ipc_bytes_per_epoch`` grew more than 20%
+above the matching figure recorded in ``FILE`` (the CI ``process-smoke`` job
+runs this against the committed ``BENCH_hotpath.json``).  On hosts granted a
+single effective CPU the results carry ``"multicore_sweep": "pending"`` so a
+reader knows the recorded process numbers measure boundary overhead, not
+scaling.
+
 A note on scaling regimes: the *thread* backend is bounded by the GIL on
 CPython — it can only match serial throughput, never multiply it.  The
 *process* backend runs each shard's feeds in a separate worker process and is
@@ -125,11 +137,37 @@ def build_registry() -> FeedRegistry:
     return registry
 
 
+def _ipc_record(summary: dict) -> dict:
+    """The IPC meter summary rounded for the benchmark JSON."""
+    record = {
+        "epochs": summary["epochs"],
+        "wire_bytes_total": summary["wire_bytes_total"],
+        "bytes_per_epoch": round(summary["bytes_per_epoch"], 2),
+        "encode_seconds": round(summary["encode_seconds"], 6),
+        "decode_seconds": round(summary["decode_seconds"], 6),
+        "lanes": {
+            lane: {
+                "epochs": row["epochs"],
+                "wire_bytes": row["wire_bytes"],
+                "encode_seconds": round(row["encode_seconds"], 6),
+                "decode_seconds": round(row["decode_seconds"], 6),
+            }
+            for lane, row in summary["lanes"].items()
+        },
+    }
+    if "legacy_pickle_bytes_total" in summary:
+        record["legacy_pickle_bytes_total"] = summary["legacy_pickle_bytes_total"]
+        record["legacy_bytes_per_epoch"] = round(summary["legacy_bytes_per_epoch"], 2)
+        record["reduction_vs_pickle"] = round(summary["reduction_vs_pickle"], 4)
+    return record
+
+
 def run_configuration(
     execution_mode: str,
     num_workers: int,
     workloads: Dict[str, List[Operation]],
     repeats: int,
+    profile_ipc: bool = False,
 ) -> dict:
     """Run the fleet at one configuration; keep the best wall time of ``repeats``."""
     best: Optional[dict] = None
@@ -142,6 +180,7 @@ def run_configuration(
             num_shards=NUM_SHARDS,
             num_workers=num_workers,
             execution_mode=execution_mode,
+            ipc_profile=profile_ipc,
         )
         fleet = scheduler.run(workloads)
         fingerprint = fleet.fingerprint()
@@ -158,6 +197,8 @@ def run_configuration(
             "operations": fleet.operations,
             "cache_hit_rate": round(fleet.cache_hit_rate, 4),
         }
+        if fleet.ipc is not None:
+            sample["ipc"] = _ipc_record(fleet.ipc)
         if best is None or sample["wall_seconds"] < best["wall_seconds"]:
             best = sample
     best["fingerprint"] = fingerprint
@@ -234,6 +275,7 @@ def run_sweep(
     process_lanes: Sequence[int],
     ops_per_feed: int,
     repeats: int,
+    profile_ipc: bool = False,
 ) -> dict:
     workloads = build_workloads(ops_per_feed)
     configurations: List[Tuple[str, int]] = [("serial", 1)]
@@ -242,7 +284,7 @@ def run_sweep(
     )
     configurations.extend(("process", lanes) for lanes in process_lanes)
     results = [
-        run_configuration(mode, workers, workloads, repeats)
+        run_configuration(mode, workers, workloads, repeats, profile_ipc=profile_ipc)
         for mode, workers in configurations
     ]
 
@@ -275,17 +317,18 @@ def run_sweep(
                 f"{result['cache_hit_rate'] * 100:.1f}%",
             )
         )
-        sweep_records.append(
-            {
-                "execution_mode": result["execution_mode"],
-                "num_workers": result["num_workers"],
-                "wall_seconds": result["wall_seconds"],
-                "ops_per_sec": result["ops_per_sec"],
-                "speedup_vs_serial": round(speedup, 3),
-                "gas_per_op": result["gas_per_op"],
-                "cache_hit_rate": result["cache_hit_rate"],
-            }
-        )
+        record = {
+            "execution_mode": result["execution_mode"],
+            "num_workers": result["num_workers"],
+            "wall_seconds": result["wall_seconds"],
+            "ops_per_sec": result["ops_per_sec"],
+            "speedup_vs_serial": round(speedup, 3),
+            "gas_per_op": result["gas_per_op"],
+            "cache_hit_rate": result["cache_hit_rate"],
+        }
+        if "ipc" in result:
+            record["ipc"] = result["ipc"]
+        sweep_records.append(record)
     host = host_facts()
     print()
     print(
@@ -309,7 +352,32 @@ def run_sweep(
             "speedup > 1 here; do not read the flat curve as 'parallelism "
             "does not help'"
         )
-    return {
+    ipc_rows = [
+        (
+            f"process/{record['num_workers']}",
+            record["ipc"]["epochs"],
+            f"{record['ipc']['bytes_per_epoch']:,.0f} B",
+            format_duration(record["ipc"]["encode_seconds"]),
+            format_duration(record["ipc"]["decode_seconds"]),
+            (
+                f"{record['ipc']['reduction_vs_pickle'] * 100:.1f}%"
+                if "reduction_vs_pickle" in record["ipc"]
+                else "—"
+            ),
+        )
+        for record in sweep_records
+        if "ipc" in record
+    ]
+    if ipc_rows:
+        print()
+        print(
+            format_table(
+                ["lanes", "epochs", "wire B/epoch", "encode", "decode", "vs pickle"],
+                ipc_rows,
+                title="Process-boundary IPC (per configuration, best repeat)",
+            )
+        )
+    payload = {
         "benchmark": "hotpath",
         "source": "benchmarks/bench_hotpath.py",
         "config": {
@@ -331,6 +399,12 @@ def run_sweep(
         },
         "observability": phase_latency_record(workloads, serial),
     }
+    if host["effective_cpus"] <= 1:
+        # Honest label for the committed JSON: every multi-lane number in this
+        # file was taken on a one-CPU host and measures boundary overhead, not
+        # scaling.  Re-running the sweep on a real multicore host clears it.
+        payload["multicore_sweep"] = "pending"
+    return payload
 
 
 def check_regression(payload: dict, committed_path: Path, tolerance: float) -> None:
@@ -349,6 +423,50 @@ def check_regression(payload: dict, committed_path: Path, tolerance: float) -> N
             f"serial throughput regressed: {fresh_serial:,.0f} ops/s is more "
             f"than {tolerance:.0%} below the committed "
             f"{committed_serial:,.0f} ops/s"
+        )
+
+
+def check_ipc_regression(
+    payload: dict, committed_path: Path, tolerance: float = 0.2
+) -> None:
+    """Fail (raise) if any process lane's wire bytes/epoch grew past ``tolerance``.
+
+    Fresh process records are matched to the committed sweep by lane count;
+    byte counts are deterministic for a fixed workload, so the tolerance only
+    absorbs deliberate format evolution, not noise.  Raises if there is
+    nothing comparable — a silently skipped gate is worse than a loud one.
+    """
+    committed = json.loads(committed_path.read_text())
+    committed_ipc = {
+        record["num_workers"]: record["ipc"]["bytes_per_epoch"]
+        for record in committed.get("sweep", [])
+        if record["execution_mode"] == "process" and "ipc" in record
+    }
+    compared = 0
+    for record in payload["sweep"]:
+        if record["execution_mode"] != "process" or "ipc" not in record:
+            continue
+        lanes = record["num_workers"]
+        if lanes not in committed_ipc:
+            continue
+        fresh = record["ipc"]["bytes_per_epoch"]
+        ceiling = committed_ipc[lanes] * (1.0 + tolerance)
+        compared += 1
+        print(
+            f"ipc-regression check: process/{lanes} fresh {fresh:,.1f} B/epoch "
+            f"vs committed {committed_ipc[lanes]:,.1f} B/epoch "
+            f"(ceiling {ceiling:,.1f} at {tolerance:.0%} tolerance)"
+        )
+        if fresh > ceiling:
+            raise AssertionError(
+                f"process/{lanes} wire bytes regressed: {fresh:,.1f} B/epoch "
+                f"is more than {tolerance:.0%} above the committed "
+                f"{committed_ipc[lanes]:,.1f} B/epoch"
+            )
+    if compared == 0:
+        raise AssertionError(
+            f"--check-ipc-regression found no comparable process records "
+            f"between this run and {committed_path}"
         )
 
 
@@ -422,6 +540,28 @@ def main() -> int:
         "before --check-regression fails (default 0.2)",
     )
     parser.add_argument(
+        "--profile-ipc",
+        action="store_true",
+        help="also measure what each process-mode epoch would have cost as a "
+        "generic protocol-5 pickle and record reduction_vs_pickle",
+    )
+    parser.add_argument(
+        "--check-ipc-regression",
+        type=Path,
+        default=None,
+        metavar="COMMITTED_JSON",
+        help="compare fresh process-mode wire bytes/epoch against this "
+        "recorded BENCH_hotpath.json and exit non-zero if any lane count "
+        "grew more than --ipc-tolerance above it",
+    )
+    parser.add_argument(
+        "--ipc-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional growth above the committed bytes/epoch "
+        "before --check-ipc-regression fails (default 0.2)",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_hotpath.json",
@@ -439,11 +579,15 @@ def main() -> int:
         ops = args.ops or FULL_OPS_PER_FEED
         repeats = args.repeats or FULL_REPEATS
     started = time.perf_counter()
-    payload = run_sweep(workers, lanes, ops, repeats)
+    payload = run_sweep(
+        workers, lanes, ops, repeats, profile_ipc=args.profile_ipc
+    )
     payload["config"]["quick"] = bool(args.quick)
     write_results(payload, args.output)
     if args.check_regression is not None:
         check_regression(payload, args.check_regression, args.regression_tolerance)
+    if args.check_ipc_regression is not None:
+        check_ipc_regression(payload, args.check_ipc_regression, args.ipc_tolerance)
     print(f"sweep completed in {time.perf_counter() - started:.1f}s")
     return 0
 

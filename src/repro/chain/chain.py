@@ -104,18 +104,31 @@ class ExecutionBuffer:
     call_frames: Dict[tuple, _CallFrame] = field(default_factory=dict, repr=False)
 
     def to_wire(self) -> dict:
-        """Plain-data form of the buffer (picklable, process-boundary safe)."""
+        """Plain-data form of the buffer (picklable, process-boundary safe).
+
+        Events travel *unstamped* — ``(contract, name, payload)`` only.  All
+        of a drive phase's events carry the chain height at the epoch start
+        (nothing mines during a drive), so the receiving side supplies that
+        one height when it rebuilds the buffer (:func:`buffer_from_wire`)
+        rather than every event repeating it across the boundary.  This is
+        also what lets process-mode workers run epochs *ahead* of the main
+        chain's merge: the stamp is assigned at merge time from the main
+        chain, so a worker never needs to know (or pad its local chain to)
+        the main chain's height.
+        """
         return {
             "ledger": ledger_to_wire(self.ledger),
             "events": [
-                (event.contract, event.name, event.payload, event.block_number)
+                (event.contract, event.name, event.payload)
                 for event in self.events
             ],
         }
 
 
-def buffer_from_wire(payload: dict) -> ExecutionBuffer:
-    """Rebuild an :class:`ExecutionBuffer` from :meth:`ExecutionBuffer.to_wire`."""
+def buffer_from_wire(payload: dict, *, block_number: int) -> ExecutionBuffer:
+    """Rebuild an :class:`ExecutionBuffer` from :meth:`ExecutionBuffer.to_wire`,
+    stamping every event with ``block_number`` (the absorbing chain's height
+    at the epoch start — exactly the stamp a serial drive would have given)."""
     return ExecutionBuffer(
         ledger=ledger_from_wire(payload["ledger"]),
         events=[
@@ -127,7 +140,7 @@ def buffer_from_wire(payload: dict) -> ExecutionBuffer:
                 transaction_index=-1,
                 log_index=-1,
             )
-            for contract, name, event_payload, block_number in payload["events"]
+            for contract, name, event_payload in payload["events"]
         ],
     )
 
@@ -196,6 +209,17 @@ class Blockchain:
         for event in buffer.events:
             self.event_log.append_event(event, event.block_number, 0)
         buffer.events.clear()
+
+    def absorb_wire(self, payload: dict, block_number: int) -> None:
+        """Merge a wire-form drive buffer (:meth:`ExecutionBuffer.to_wire`).
+
+        Equivalent to ``absorb(buffer_from_wire(payload, block_number=...))``
+        but stamps each event exactly once — the intermediate unstamped
+        :class:`LogEvent` the generic path builds and immediately replaces is
+        the main process's single largest per-event merge cost.
+        """
+        self.ledger.merge(ledger_from_wire(payload["ledger"]))
+        self.event_log.extend_unstamped(payload["events"], block_number)
 
     # -- deployment and lookup ----------------------------------------------
 

@@ -25,39 +25,58 @@ work to a persistent pool of long-lived worker processes:
   state of a shard — its feeds' contracts on a worker-local chain, SP stores,
   control planes, cache shards, telemetry rows, workload queues — persists
   across epochs and only *per-epoch deltas* cross the process boundary;
-* per epoch, a lane receives one tiny :class:`ShardTask` (epoch index, epoch
-  size, the main chain's current height) and returns one
-  :class:`ShardEpochResult` per shard: the driving phase's
-  :class:`~repro.chain.chain.ExecutionBuffer` in wire form, plus the shard's
-  settlement transactions *pre-executed* against the worker's mirror of the
-  shard's contracts (:class:`SettlementResult`: gas used, receipt outcome,
-  emitted events, exact ledger delta);
-* the main process merges results in **fixed shard order** — absorb every
-  drive buffer, then mine one recorded block per shard deliver, then one per
-  shard update (:meth:`~repro.chain.chain.Blockchain.mine_recorded_block`) —
-  reproducing the serial merge exactly, so fingerprints, per-feed gas bills
-  and chain state are bit-identical to a serial run;
+* per epoch, a lane receives a tiny ``(epoch, epoch_size)`` order and returns
+  **one contiguous wire frame** (:class:`LaneEpochEnvelope`) covering all of
+  its shards' phases: each shard's driving-phase
+  :class:`~repro.chain.chain.ExecutionBuffer` as a packed ledger delta plus
+  unstamped events, and the shard's settlement transactions *pre-executed*
+  against the worker's mirror of the shard's contracts
+  (:class:`SettlementResult`: gas used, receipt outcome, emitted events,
+  exact ledger delta);
+* the main process merges results in **fixed shard order** — stamp and absorb
+  every drive buffer at the epoch-start height, then mine one recorded block
+  per shard deliver, then one per shard update
+  (:meth:`~repro.chain.chain.Blockchain.mine_recorded_block`) — reproducing
+  the serial merge exactly, so fingerprints, per-feed gas bills and chain
+  state are bit-identical to a serial run;
+* because event stamps are assigned by the *main* chain at merge time,
+  workers never wait for the previous epoch's merge: the scheduler submits
+  every epoch the remaining workloads already guarantee, and lanes run
+  epochs back-to-back while the main process merges behind them;
 * at run end the workers ship their final feed state back
   (:class:`FeedStateResult`) and the engine folds it into the main registry's
   mirrors, so post-run inspection (contract storage, roots, replica counts,
   reports, cache contents) sees exactly what a serial run would have left.
 
-Worker processes rebuild their feeds from the :class:`FeedSpec`s (pickled to
-the worker once, at start), so the construction is deterministic and identical
-to the main registry's own mirrors.  Constraints the backend enforces rather
-than silently mis-handling: no tenant churn (shard pinning needs a static
-fleet), a stable shard plan (round-robin; a gas-aware plan would re-shard
-mid-run), and memory-backed SP stores (two processes must not open one LSM
-directory).
+Everything that crosses a lane boundary per epoch is encoded with the compact
+codec in :mod:`repro.common.wire` — varint-packed counters, feed ids / record
+keys / category names interned into the lane's persistent string table (only
+first occurrences cross), bulk byte payloads out-of-band, one schema-versioned
+frame per lane per epoch — and metered by :class:`IpcMeter`
+(``ipc_bytes_per_epoch`` / ``ipc_encode_seconds`` / ``ipc_decode_seconds``
+per lane, surfaced through the obs plane and ``FleetTelemetry.ipc``).  This
+file owns the *schema* (what the fields mean); ``repro.common.wire`` owns the
+*format* (how primitives are packed).
+
+Worker processes rebuild their feeds from the shipped :class:`FeedSpec`s plus
+a wire-packed seed frame of workload operations and preload records (sent
+once, at start), so the construction is deterministic and identical to the
+main registry's own mirrors.  Constraints the backend enforces rather than
+silently mis-handling: no tenant churn (shard pinning needs a static fleet),
+a stable shard plan (round-robin; a gas-aware plan would re-shard mid-run),
+and memory-backed SP stores (two processes must not open one LSM directory).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
+import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.chain.chain import ChainParameters, ExecutionBuffer, buffer_from_wire
 from repro.chain.gas import (
@@ -69,8 +88,24 @@ from repro.chain.gas import (
     ledger_to_wire,
 )
 from repro.chain.transaction import Transaction
+from repro.ads.authenticated_kv import TOMBSTONE_LEAF
 from repro.common.errors import ConfigurationError, ReproError
-from repro.common.types import EpochSummary, Operation, OperationKind, ReplicationState
+from repro.common.hashing import EMPTY_DIGEST
+from repro.common.types import (
+    EpochSummary,
+    KVRecord,
+    Operation,
+    OperationKind,
+    ReplicationState,
+)
+from repro.common.wire import (
+    WireDecoder,
+    WireEncoder,
+    WireError,
+    WireFrame,
+    WireReader,
+    WireWriter,
+)
 from repro.core.grub import RunReport
 from repro.gateway.cache import CacheStats, ReadCache
 from repro.gateway.metrics import FeedTelemetry
@@ -345,44 +380,63 @@ def settle_feed_epoch(
 
 
 # ---------------------------------------------------------------------------
-# Process backend: wire envelopes
+# Process backend: boundary types
 # ---------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
-class FeedSeed:
-    """One feed a worker lane must host: its spec plus its whole workload."""
-
-    spec: FeedSpec
-    operations: Tuple[Operation, ...]
-
-
-@dataclass(frozen=True)
 class LaneConfig:
-    """Everything one worker process needs to rebuild its pinned shards."""
+    """Everything one worker process needs to rebuild its pinned shards.
+
+    Crosses the boundary exactly once, at lane start.  The bulky, regular
+    parts — every feed's workload operations and preload records — travel in
+    :attr:`seed_frame`, wire-packed; only the small irregular remainder (the
+    specs' configs, consumer factories and quota fields) rides on the pickled
+    dataclass itself.
+    """
 
     schedule: GasSchedule
     parameters: ChainParameters
     router_address: str
     cache_enabled: bool
     cache_capacity: Optional[int]
-    #: shard index → that shard's feeds, in shard order.
-    shards: Dict[int, Tuple[FeedSeed, ...]]
+    #: shard index → that shard's feeds' specs (preload stripped — it travels
+    #: in :attr:`seed_frame`), in shard order.
+    shards: Dict[int, Tuple[FeedSpec, ...]]
+    #: Wire-packed workloads + preloads for every feed of every shard, in the
+    #: same sorted-shard / per-shard feed order as :attr:`shards`.
+    seed_frame: WireFrame
     #: When set, the lane times per-shard phase spans (its own monotonic
     #: clock) and ships them back in :attr:`ShardEpochResult.spans`.
     obs_enabled: bool = False
+    #: When set, the lane additionally measures what each epoch's results
+    #: *would* have cost as a generic protocol-5 pickle
+    #: (:attr:`LaneEpochEnvelope.legacy_pickle_bytes`), so the codec's
+    #: reduction is a recorded before/after, not an estimate.
+    ipc_profile: bool = False
 
 
 @dataclass(frozen=True)
-class ShardTask:
-    """One epoch's marching orders for a lane: everything that crosses the
-    boundary *into* a worker per epoch (the workloads already live there)."""
+class ForkLaneConfig:
+    """Lane startup order for **fork-seeded** lanes (the ``inherit`` seed mode).
 
-    epoch: int
-    epoch_size: int
-    #: Main-chain height at the epoch start; the worker pads its local chain
-    #: to it so request events carry the same block stamps as a serial run.
-    chain_height: int
+    On a fork start method the worker process is a copy-on-write clone of the
+    main process taken at pool startup — the fully built registry and the
+    workload queues are already in its address space, bit-for-bit the state a
+    dedicated mirror would have to be rebuilt into.  Shipping specs and
+    workloads again (and re-running every feed's Merkle build in the worker)
+    would only re-derive what the fork already copied, so this config carries
+    nothing but the lane's shard→feed pinning and the runtime flags; the
+    worker adopts the inherited registry via :data:`_FORK_SEED` and drives
+    only its own shards against it.
+    """
+
+    #: shard index → that shard's feed ids, in shard order.
+    shard_feeds: Dict[int, Tuple[str, ...]]
+    cache_enabled: bool
+    cache_capacity: Optional[int]
+    obs_enabled: bool = False
+    ipc_profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -412,7 +466,9 @@ class ShardEpochResult:
     """One shard's epoch, as shipped back from its worker lane."""
 
     shard_index: int
-    #: Phase-1 side effects (gas + request events), ExecutionBuffer wire form.
+    #: Phase-1 side effects (gas + unstamped request events),
+    #: :meth:`ExecutionBuffer.to_wire` form; the main chain stamps the events
+    #: with its own epoch-start height at merge time.
     drive: dict
     deliver: Optional[SettlementResult]
     update: Optional[SettlementResult]
@@ -424,6 +480,26 @@ class ShardEpochResult:
     #: (:func:`repro.obs.tracing.reassemble_shard_spans`) and never compares
     #: their timestamps across processes.
     spans: Tuple[dict, ...] = ()
+
+
+@dataclass(frozen=True)
+class LaneEpochEnvelope:
+    """One lane's whole epoch on the wire: a single contiguous frame.
+
+    The frame body packs every :class:`ShardEpochResult` of the lane's shards
+    (drive delta, settlements, remaining counts, spans) through the lane's
+    persistent wire channel; crossing the pool boundary then costs one pickle
+    of ``(bytes, tuple-of-bytes, float, int)`` instead of a recursive object
+    graph.
+    """
+
+    frame: WireFrame
+    #: Worker-side wall time spent encoding the frame (the IPC meter's
+    #: ``ipc_encode_seconds``).
+    encode_seconds: float
+    #: What this epoch's results measured as a generic protocol-5 pickle —
+    #: the pre-codec wire format.  0 unless :attr:`LaneConfig.ipc_profile`.
+    legacy_pickle_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -447,25 +523,348 @@ class FeedStateResult:
     cache_stats: Optional[CacheStats]
 
 
-#: Contract attributes that must not cross the process boundary: the chain
-#: back-reference (worker-local), the storage (shipped as slots), and the
-#: storage manager's weak cursor registry (rebuilt by the main-side monitor).
-_CONTRACT_ATTR_EXCLUDES = ("chain", "storage", "_history_cursors")
+# ---------------------------------------------------------------------------
+# Process backend: the wire schema
+#
+# ``repro.common.wire`` defines the *format* (varints, interned strings,
+# out-of-band bytes, frames); the functions here define the *schema* — the
+# exact field order of everything the gateway ships across a lane boundary.
+# Encoder and decoder of one channel must execute mirrored call sequences, so
+# every encode function below has its decode twin directly underneath.
+# ---------------------------------------------------------------------------
+
+#: Enum members are encoded as their index in these fixed tuples (declaration
+#: order is part of the wire schema; reordering requires a version bump).
+_OPERATION_KINDS: Tuple[OperationKind, ...] = tuple(OperationKind)
+_KIND_INDEX: Dict[OperationKind, int] = {
+    kind: index for index, kind in enumerate(_OPERATION_KINDS)
+}
+_REPLICATION_STATES: Tuple[ReplicationState, ...] = tuple(ReplicationState)
+_STATE_INDEX: Dict[ReplicationState, int] = {
+    state: index for index, state in enumerate(_REPLICATION_STATES)
+}
 
 
-def _contract_state(contract) -> Tuple[dict, Dict[str, bytes]]:
-    attrs = {
-        key: value
-        for key, value in vars(contract).items()
-        if key not in _CONTRACT_ATTR_EXCLUDES
+def _encode_operation(w: WireWriter, operation: Operation) -> None:
+    w.uvarint(_KIND_INDEX[operation.kind])
+    w.string(operation.key)
+    if operation.value is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1)
+        w.bytes_(operation.value)
+    w.uvarint(operation.size_bytes)
+    w.uvarint(operation.scan_length)
+    w.svarint(operation.sequence)
+
+
+def _decode_operation(r: WireReader) -> Operation:
+    kind = _OPERATION_KINDS[r.uvarint()]
+    key = r.string()
+    value = r.bytes_() if r.uvarint() else None
+    return Operation(
+        kind=kind,
+        key=key,
+        value=value,
+        size_bytes=r.uvarint(),
+        scan_length=r.uvarint(),
+        sequence=r.svarint(),
+    )
+
+
+def _encode_record(w: WireWriter, record: KVRecord) -> None:
+    w.string(record.key)
+    w.bytes_(record.value)
+    w.uvarint(_STATE_INDEX[record.state])
+    w.uvarint(record.version)
+
+
+def _decode_record(r: WireReader) -> KVRecord:
+    return KVRecord(
+        key=r.string(),
+        value=r.bytes_(),
+        state=_REPLICATION_STATES[r.uvarint()],
+        version=r.uvarint(),
+    )
+
+
+def _encode_ledger_wire(w: WireWriter, payload: dict) -> None:
+    """Pack a :func:`ledger_to_wire` / :func:`ledger_delta_wire` dict.
+
+    Category, layer and scope names intern into the channel's string table,
+    so a steady-state epoch's ledger delta is almost entirely varints.
+    """
+    w.svarint(payload["total"])
+    w.svarint(payload["refunded"])
+    by_category = payload["by_category"]
+    w.uvarint(len(by_category))
+    for category, amount in by_category.items():
+        w.string(category)
+        w.svarint(amount)
+    by_layer = payload["by_layer"]
+    w.uvarint(len(by_layer))
+    for layer, amount in by_layer.items():
+        w.string(layer)
+        w.svarint(amount)
+    by_scope = payload["by_scope"]
+    w.uvarint(len(by_scope))
+    for scope, layer, amount in by_scope:
+        w.string(scope)
+        w.string(layer)
+        w.svarint(amount)
+
+
+def _decode_ledger_wire(r: WireReader) -> dict:
+    total = r.svarint()
+    refunded = r.svarint()
+    by_category = {r.string(): r.svarint() for _ in range(r.uvarint())}
+    by_layer = {r.string(): r.svarint() for _ in range(r.uvarint())}
+    by_scope = [
+        (r.string(), r.string(), r.svarint()) for _ in range(r.uvarint())
+    ]
+    return {
+        "total": total,
+        "refunded": refunded,
+        "by_category": by_category,
+        "by_layer": by_layer,
+        "by_scope": by_scope,
     }
-    return attrs, dict(contract.storage.slots)
 
 
-def _apply_contract_state(contract, attrs: dict, slots: Dict[str, bytes]) -> None:
-    contract.__dict__.update(attrs)
-    contract.storage.slots.clear()
-    contract.storage.slots.update(slots)
+def _encode_events(w: WireWriter, events: Sequence[tuple]) -> None:
+    """Unstamped events: ``(contract, name, payload)`` triples.  Contract
+    addresses and event names repeat every epoch — both intern."""
+    w.uvarint(len(events))
+    string = w.string
+    value = w.value
+    for contract, name, payload in events:
+        string(contract)
+        string(name)
+        value(payload)
+
+
+def _decode_events(r: WireReader) -> List[tuple]:
+    string = r.string
+    value = r.value
+    return [(string(), string(), value()) for _ in range(r.uvarint())]
+
+
+def _encode_settlement(w: WireWriter, result: Optional[SettlementResult]) -> None:
+    if result is None:
+        w.uvarint(0)
+        return
+    w.uvarint(1)
+    w.string(result.function)
+    w.uvarint(len(result.feed_ids))
+    for feed_id in result.feed_ids:
+        w.string(feed_id)
+    w.uvarint(len(result.scopes))
+    for scope, weight in result.scopes.items():
+        w.string(scope)
+        w.svarint(weight)
+    w.uvarint(result.calldata_bytes)
+    w.uvarint(result.gas_used)
+    w.uvarint(1 if result.success else 0)
+    if result.error is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1)
+        w.string(result.error)
+    _encode_events(w, result.events)
+    _encode_ledger_wire(w, result.ledger_delta)
+
+
+def _decode_settlement(r: WireReader) -> Optional[SettlementResult]:
+    if not r.uvarint():
+        return None
+    return SettlementResult(
+        function=r.string(),
+        feed_ids=tuple(r.string() for _ in range(r.uvarint())),
+        scopes={r.string(): r.svarint() for _ in range(r.uvarint())},
+        calldata_bytes=r.uvarint(),
+        gas_used=r.uvarint(),
+        success=bool(r.uvarint()),
+        error=r.string() if r.uvarint() else None,
+        events=tuple(_decode_events(r)),
+        ledger_delta=_decode_ledger_wire(r),
+    )
+
+
+def encode_lane_seed(
+    encoder: WireEncoder,
+    seed_items: Sequence[Tuple[int, Sequence[Tuple[Sequence[Operation], Optional[Sequence[KVRecord]]]]]],
+) -> WireFrame:
+    """Pack one lane's complete startup payload: per shard (sorted order),
+    per feed, the workload operations and the optional preload records."""
+    w = encoder.writer()
+    w.uvarint(len(seed_items))
+    for shard_index, feeds in seed_items:
+        w.uvarint(shard_index)
+        w.uvarint(len(feeds))
+        for operations, preload in feeds:
+            w.uvarint(len(operations))
+            for operation in operations:
+                _encode_operation(w, operation)
+            if preload is None:
+                w.uvarint(0)
+            else:
+                w.uvarint(len(preload) + 1)
+                for record in preload:
+                    _encode_record(w, record)
+    return w.frame()
+
+
+def decode_lane_seed(
+    decoder: WireDecoder, frame: WireFrame
+) -> Dict[int, List[Tuple[List[Operation], Optional[List[KVRecord]]]]]:
+    """Decode :func:`encode_lane_seed`: shard index → per-feed
+    ``(operations, preload)`` in the shard's feed order."""
+    r = decoder.reader(frame)
+    shards: Dict[int, List[Tuple[List[Operation], Optional[List[KVRecord]]]]] = {}
+    for _ in range(r.uvarint()):
+        shard_index = r.uvarint()
+        feeds: List[Tuple[List[Operation], Optional[List[KVRecord]]]] = []
+        for _ in range(r.uvarint()):
+            operations = [_decode_operation(r) for _ in range(r.uvarint())]
+            marker = r.uvarint()
+            preload = (
+                None
+                if marker == 0
+                else [_decode_record(r) for _ in range(marker - 1)]
+            )
+            feeds.append((operations, preload))
+        shards[shard_index] = feeds
+    return shards
+
+
+def encode_lane_epoch(
+    encoder: WireEncoder, epoch: int, results: Sequence[ShardEpochResult]
+) -> WireFrame:
+    """Pack one lane's whole epoch — every pinned shard's result — into one
+    contiguous frame on the lane's persistent channel."""
+    w = encoder.writer()
+    w.uvarint(epoch)
+    w.uvarint(len(results))
+    for result in results:
+        w.uvarint(result.shard_index)
+        _encode_ledger_wire(w, result.drive["ledger"])
+        _encode_events(w, result.drive["events"])
+        _encode_settlement(w, result.deliver)
+        _encode_settlement(w, result.update)
+        w.uvarint(len(result.remaining))
+        for feed_id, count in result.remaining.items():
+            w.string(feed_id)
+            w.uvarint(count)
+        w.uvarint(len(result.spans))
+        for span in result.spans:
+            w.value(span)
+    return w.frame()
+
+
+def decode_lane_epoch(
+    decoder: WireDecoder, frame: WireFrame
+) -> Tuple[int, List[ShardEpochResult]]:
+    """Decode :func:`encode_lane_epoch` back into the epoch index and the
+    lane's :class:`ShardEpochResult`\\ s (in the lane's shard order)."""
+    r = decoder.reader(frame)
+    epoch = r.uvarint()
+    results: List[ShardEpochResult] = []
+    for _ in range(r.uvarint()):
+        shard_index = r.uvarint()
+        drive = {"ledger": _decode_ledger_wire(r), "events": _decode_events(r)}
+        deliver = _decode_settlement(r)
+        update = _decode_settlement(r)
+        remaining = {r.string(): r.uvarint() for _ in range(r.uvarint())}
+        spans = tuple(r.value() for _ in range(r.uvarint()))
+        results.append(
+            ShardEpochResult(
+                shard_index=shard_index,
+                drive=drive,
+                deliver=deliver,
+                update=update,
+                remaining=remaining,
+                spans=spans,
+            )
+        )
+    return epoch, results
+
+
+# ---------------------------------------------------------------------------
+# Process backend: IPC metering
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IpcSample:
+    """One lane's IPC cost for one epoch (the obs histograms' unit)."""
+
+    lane: int
+    epoch: int
+    #: Frame body plus out-of-band blobs, in bytes.
+    wire_bytes: int
+    #: Worker-side encode wall time.
+    encode_seconds: float
+    #: Main-side decode wall time.
+    decode_seconds: float
+    #: Same results as a generic protocol-5 pickle (0 unless profiling).
+    legacy_pickle_bytes: int = 0
+
+
+class IpcMeter:
+    """Per-lane IPC totals for a process-mode run.
+
+    Always on — recording costs a handful of adds per lane epoch — so every
+    process run can report its boundary traffic, not just profiled ones.
+    """
+
+    def __init__(self) -> None:
+        self.epochs = 0
+        self.lanes: Dict[int, Dict[str, float]] = {}
+
+    def record(self, samples: Sequence[IpcSample]) -> None:
+        self.epochs += 1
+        for sample in samples:
+            row = self.lanes.setdefault(
+                sample.lane,
+                {
+                    "epochs": 0,
+                    "wire_bytes": 0,
+                    "encode_seconds": 0.0,
+                    "decode_seconds": 0.0,
+                    "legacy_pickle_bytes": 0,
+                },
+            )
+            row["epochs"] += 1
+            row["wire_bytes"] += sample.wire_bytes
+            row["encode_seconds"] += sample.encode_seconds
+            row["decode_seconds"] += sample.decode_seconds
+            row["legacy_pickle_bytes"] += sample.legacy_pickle_bytes
+
+    def summary(self) -> dict:
+        """Plain-data totals (the shape ``FleetTelemetry.ipc`` carries and the
+        benchmark records): fleet-wide bytes/epoch, encode/decode seconds,
+        per-lane rows, and — when profiled — the legacy-pickle comparison."""
+        wire_total = int(sum(row["wire_bytes"] for row in self.lanes.values()))
+        legacy_total = int(
+            sum(row["legacy_pickle_bytes"] for row in self.lanes.values())
+        )
+        out: dict = {
+            "epochs": self.epochs,
+            "wire_bytes_total": wire_total,
+            "bytes_per_epoch": wire_total / self.epochs if self.epochs else 0.0,
+            "encode_seconds": sum(row["encode_seconds"] for row in self.lanes.values()),
+            "decode_seconds": sum(row["decode_seconds"] for row in self.lanes.values()),
+            "lanes": {
+                str(lane): dict(self.lanes[lane]) for lane in sorted(self.lanes)
+            },
+        }
+        if legacy_total:
+            out["legacy_pickle_bytes_total"] = legacy_total
+            out["legacy_bytes_per_epoch"] = (
+                legacy_total / self.epochs if self.epochs else 0.0
+            )
+            out["reduction_vs_pickle"] = 1.0 - wire_total / legacy_total
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -481,46 +880,113 @@ class _LaneWorker:
     shards — drive, watchdog poll, deliver settlement, cache warm-up, update
     settlement, per-feed accounting — against its *local* chain, in the same
     per-feed order a serial run uses, and ships back only the deltas the main
-    chain must record.
+    chain must record, as one wire frame per epoch on the lane's persistent
+    channel.
+
+    The local chain's heights are private bookkeeping: drive events cross
+    unstamped (the main chain stamps them at merge time) and settlement
+    events are stamped by ``mine_recorded_block`` on the main side, so the
+    worker neither tracks nor pads toward the main chain's height — which is
+    what allows it to run epochs ahead of the main process's merge.
     """
 
-    def __init__(self, config: LaneConfig) -> None:
+    def __init__(self, config: Union[LaneConfig, ForkLaneConfig]) -> None:
+        #: Lane-local tracer (own process, own clock).  It only ever creates
+        #: detached spans; the finished spans ship back as wire dicts and the
+        #: main process owns the tree they end up in.
+        self.tracer = Tracer(enabled=config.obs_enabled)
+        self.ipc_profile = config.ipc_profile
+        #: The lane's epoch-result channel (worker → main); persistent, so
+        #: feed ids and keys intern once for the whole run.
+        self.encoder = WireEncoder()
+        cache = ReadCache(capacity=config.cache_capacity) if config.cache_enabled else None
+        self.shards: List[Tuple[int, List[str]]] = []
+        if isinstance(config, ForkLaneConfig):
+            seed = _FORK_SEED
+            if seed is None:
+                raise ConfigurationError(
+                    "fork-seeded lane started without an inherited seed — "
+                    "the pool's start method is not 'fork'; use the 'wire' "
+                    "seed mode instead"
+                )
+            registry, queues = seed
+            #: The forked copy of the main registry: every feed's contracts,
+            #: stores and control planes exactly as the main process built
+            #: them, for free via copy-on-write.  The lane only ever drives
+            #: its own shards against it; the chain's obs hook is severed
+            #: (metrics belong to the main process, and worker-side mining
+            #: must not pay for them).
+            self.registry = registry
+            self.registry.chain.obs = None
+            self.env = ShardEnvironment(registry=self.registry, cache=cache)
+            for shard_index in sorted(config.shard_feeds):
+                feed_ids = list(config.shard_feeds[shard_index])
+                for feed_id in feed_ids:
+                    self.env.queues[feed_id] = queues[feed_id]
+                    self.env.dirty[feed_id] = set()
+                    self.env.feeds[feed_id] = FeedTelemetry(feed_id=feed_id)
+                    if cache is not None:
+                        cache.ensure_shard(feed_id)
+                self.shards.append((shard_index, feed_ids))
+            self._snapshot_store_baselines()
+            return
         self.registry = FeedRegistry(
             schedule=config.schedule,
             parameters=config.parameters,
             router_address=config.router_address,
         )
-        #: Lane-local tracer (own process, own clock).  It only ever creates
-        #: detached spans; the finished spans ship back as wire dicts and the
-        #: main process owns the tree they end up in.
-        self.tracer = Tracer(enabled=config.obs_enabled)
-        cache = ReadCache(capacity=config.cache_capacity) if config.cache_enabled else None
         self.env = ShardEnvironment(registry=self.registry, cache=cache)
-        self.shards: List[Tuple[int, List[str]]] = []
+        seeds = decode_lane_seed(WireDecoder(), config.seed_frame)
         for shard_index in sorted(config.shards):
+            specs = config.shards[shard_index]
+            shard_seeds = seeds[shard_index]
+            if len(shard_seeds) != len(specs):
+                raise WireError(
+                    f"lane seed frame carries {len(shard_seeds)} feeds for "
+                    f"shard {shard_index}, config names {len(specs)}"
+                )
             feed_ids: List[str] = []
-            for seed in config.shards[shard_index]:
-                self.registry.create_feed(seed.spec)
-                feed_id = seed.spec.feed_id
+            for spec, (operations, preload) in zip(specs, shard_seeds):
+                self.registry.create_feed(
+                    replace(spec, preload=preload) if preload is not None else spec
+                )
+                feed_id = spec.feed_id
                 feed_ids.append(feed_id)
-                self.env.queues[feed_id] = deque(seed.operations)
+                self.env.queues[feed_id] = deque(operations)
                 self.env.dirty[feed_id] = set()
                 self.env.feeds[feed_id] = FeedTelemetry(feed_id=feed_id)
                 if cache is not None:
                     cache.ensure_shard(feed_id)
             self.shards.append((shard_index, feed_ids))
+        self._snapshot_store_baselines()
+
+    def _snapshot_store_baselines(self) -> None:
+        """Record each feed's SP-store state at seed time.
+
+        Both seed modes leave the worker's stores identical to the main
+        registry's (fork copies them; wire rebuilds them from the same
+        preloads), so at run end :meth:`_pack_store` only needs to ship what
+        *diverged* from this snapshot — the main side patches its own copy.
+        """
+        self._store_baseline: Dict[str, tuple] = {}
+        for _, shard in self.shards:
+            for feed_id in shard:
+                store = self.registry.get(feed_id).system.sp_store
+                self._store_baseline[feed_id] = (
+                    {
+                        key: (record.version, record.state, record.value)
+                        for key, record in store._records.items()
+                    },
+                    len(store._slots),
+                    list(store._free_slots),
+                )
 
     # -- one epoch -----------------------------------------------------------
 
-    def run_epoch(self, task: ShardTask) -> List[ShardEpochResult]:
+    def run_epoch(self, epoch: int, epoch_size: int) -> LaneEpochEnvelope:
         env = self.env
         chain = self.registry.chain
         ledger = chain.ledger
-        # Pad the local chain to the main chain's height so events emitted
-        # while driving carry the very block stamps a serial run records
-        # (other lanes' settlement blocks exist only on the main chain).
-        while chain.height < task.chain_height:
-            chain.mine_block()
 
         active = [feed_id for _, shard in self.shards for feed_id in shard]
         gas_before = {
@@ -548,7 +1014,7 @@ class _LaneWorker:
         drives: List[Tuple[int, List[str], ExecutionBuffer, Dict[str, EpochSummary]]] = []
         for shard_index, shard in self.shards:
             span = tracer.detached("shard", phase="drive", shard=shard_index)
-            buffer, summaries = drive_shard(env, shard, task.epoch, task.epoch_size)
+            buffer, summaries = drive_shard(env, shard, epoch, epoch_size)
             _ship(shard_index, span)
             drives.append((shard_index, shard, buffer, summaries))
         drive_wires = {index: buffer.to_wire() for index, _, buffer, _ in drives}
@@ -622,7 +1088,17 @@ class _LaneWorker:
                     spans=tuple(wire_spans[shard_index]),
                 )
             )
-        return results
+
+        legacy_bytes = (
+            len(pickle.dumps(results, protocol=5)) if self.ipc_profile else 0
+        )
+        started = time.perf_counter()
+        frame = encode_lane_epoch(self.encoder, epoch, results)
+        return LaneEpochEnvelope(
+            frame=frame,
+            encode_seconds=time.perf_counter() - started,
+            legacy_pickle_bytes=legacy_bytes,
+        )
 
     def _settle(self, transaction: Transaction, feed_ids: List[str]) -> SettlementResult:
         """Execute one settlement transaction on the local chain, capturing
@@ -656,6 +1132,44 @@ class _LaneWorker:
 
     # -- run-end state shipping ----------------------------------------------
 
+    def _pack_store(self, feed_id: str, store) -> dict:
+        """The feed's SP store as a delta against the seed-time snapshot.
+
+        Ships only the records whose ``(version, state, value)`` diverged,
+        the keys that vanished, the slot-layout change (appended tail in the
+        common insert-only case, the full layout after deletes), and the
+        Merkle tree's current shape — changed leaves by slot plus the interior
+        levels as one flat digest blob (32 bytes per node, no per-object
+        framing).  Everything else the main process already holds.
+        """
+        base_records, base_nslots, base_free = self._store_baseline[feed_id]
+        records = store._records
+        slot_of = store._slot_of
+        tree = store._tree
+        leaves = tree._leaves
+        changed = []
+        for key, record in records.items():
+            if base_records.get(key) != (record.version, record.state, record.value):
+                slot = slot_of[key]
+                changed.append(
+                    (key, record.value, record.state.value, record.version,
+                     slot, leaves[slot])
+                )
+        deleted = [key for key in base_records if key not in records]
+        if not deleted and store._free_slots == base_free:
+            layout: tuple = ("tail", list(store._slots[base_nslots:]))
+        else:
+            layout = ("full", list(store._slots), list(store._free_slots))
+        return {
+            "changed": changed,
+            "deleted": deleted,
+            "layout": layout,
+            "leaf_count": len(leaves),
+            "upper": b"".join(
+                digest for level in tree._levels[1:] for digest in level
+            ),
+        }
+
     def collect(self) -> List[FeedStateResult]:
         results: List[FeedStateResult] = []
         cache = self.env.cache
@@ -664,11 +1178,12 @@ class _LaneWorker:
                 handle = self.registry.get(feed_id)
                 manager_attrs, manager_slots = _contract_state(handle.storage_manager)
                 consumer_attrs, consumer_slots = _contract_state(handle.consumer)
-                sp_store_state: Optional[dict] = vars(handle.system.sp_store).copy()
-                try:
-                    pickle.dumps(sp_store_state)
-                except Exception:  # pragma: no cover - non-picklable backing
-                    sp_store_state = None
+                # Process mode admits only memory-backed SP stores (the
+                # scheduler rejects everything else at start), and a memory
+                # store's state is plain data — always picklable.
+                sp_store_state: Optional[dict] = self._pack_store(
+                    feed_id, handle.system.sp_store
+                )
                 if cache is not None:
                     shard_obj = cache._shards.get(feed_id)
                     entries = tuple(shard_obj.entries.items()) if shard_obj else ()
@@ -696,19 +1211,54 @@ class _LaneWorker:
         return results
 
 
+#: Contract attributes that must not cross the process boundary: the chain
+#: back-reference (worker-local), the storage (shipped as slots), and the
+#: storage manager's weak cursor registry (rebuilt by the main-side monitor).
+_CONTRACT_ATTR_EXCLUDES = ("chain", "storage", "_history_cursors")
+
+
+def _contract_state(contract) -> Tuple[dict, Dict[str, bytes]]:
+    attrs = {
+        key: value
+        for key, value in vars(contract).items()
+        if key not in _CONTRACT_ATTR_EXCLUDES
+    }
+    return attrs, dict(contract.storage.slots)
+
+
+def _apply_contract_state(contract, attrs: dict, slots: Dict[str, bytes]) -> None:
+    contract.__dict__.update(attrs)
+    contract.storage.slots.clear()
+    contract.storage.slots.update(slots)
+
+
 #: The lane's resident worker, one per process (set by :func:`_lane_start`).
 _LANE_WORKER: Optional[_LaneWorker] = None
 
+#: Fork-seeding handoff: the parent sets this to ``(registry, queues)``
+#: immediately before spawning fork-seeded lanes and clears it once they have
+#: started; each lane's forked copy keeps its own private reference.  Only
+#: meaningful under a ``fork`` start method — it is the parent's built state
+#: that the fork duplicates into the worker for free.
+_FORK_SEED: Optional[Tuple[FeedRegistry, Dict[str, Deque[Operation]]]] = None
 
-def _lane_start(config: LaneConfig) -> int:
+
+def _lane_start(config: Union[LaneConfig, ForkLaneConfig]) -> int:
     global _LANE_WORKER
     _LANE_WORKER = _LaneWorker(config)
     return len(_LANE_WORKER.shards)
 
 
-def _lane_epoch(task: ShardTask) -> List[ShardEpochResult]:
+def _lane_epochs(start: int, count: int, epoch_size: int) -> List[LaneEpochEnvelope]:
+    """Run ``count`` consecutive epochs back-to-back, one wire frame each.
+
+    Epochs are ordered in batches (the scheduler submits every epoch the
+    remaining workloads guarantee as one order) so the per-task pool overhead
+    — argument pickling, queue wakeups, result marshalling — is paid once per
+    batch instead of once per epoch."""
     assert _LANE_WORKER is not None, "lane worker not started"
-    return _LANE_WORKER.run_epoch(task)
+    run_epoch = _LANE_WORKER.run_epoch
+    return [run_epoch(epoch, epoch_size) for epoch in range(start, start + count)]
 
 
 def _lane_collect() -> List[FeedStateResult]:
@@ -720,6 +1270,38 @@ def _lane_collect() -> List[FeedStateResult]:
 # Process backend: the main-process engine
 # ---------------------------------------------------------------------------
 
+#: How lanes receive their feeds at startup.  ``inherit`` adopts the main
+#: process's built registry via fork copy-on-write (no re-derivation, no
+#: startup shipping — but fork only); ``wire`` ships preload-stripped specs
+#: plus a wire-packed seed frame and rebuilds mirrors in the worker (any
+#: start method); ``auto`` picks by the platform's start method.
+SEED_MODES = ("auto", "inherit", "wire")
+
+
+def _resolve_seed_mode(requested: str) -> str:
+    """Resolve the effective seed mode (``GRUB_PROCESS_SEED`` overrides)."""
+    mode = os.environ.get("GRUB_PROCESS_SEED", requested)
+    if mode not in SEED_MODES:
+        raise ConfigurationError(
+            f"unknown process seed mode {mode!r}; expected one of {SEED_MODES}"
+        )
+    if mode == "auto":
+        return "inherit" if multiprocessing.get_start_method() == "fork" else "wire"
+    return mode
+
+
+class _PendingBatch:
+    """One in-flight multi-epoch order on one lane."""
+
+    __slots__ = ("future", "start", "count", "envelopes", "taken")
+
+    def __init__(self, future, start: int, count: int) -> None:
+        self.future = future
+        self.start = start
+        self.count = count
+        self.envelopes: Optional[List[LaneEpochEnvelope]] = None
+        self.taken = 0
+
 
 class ProcessEngine:
     """Persistent multi-process execution backend for the epoch scheduler.
@@ -727,14 +1309,33 @@ class ProcessEngine:
     One single-worker :class:`ProcessPoolExecutor` per lane keeps each lane's
     worker process alive (and its shard state resident) for the whole run;
     shards are pinned ``shard_index % num_lanes``.
+
+    Epoch execution is **pipelined**: :meth:`submit_epoch` queues an epoch on
+    every lane (each lane's single-worker pool runs its queue back-to-back),
+    and :meth:`results` blocks for — and decodes — one specific epoch's
+    frames.  The scheduler submits as many epochs ahead as the remaining
+    workloads guarantee will run, so lanes never idle waiting for the main
+    process's merge.  Because each lane's frames are produced and decoded
+    strictly in epoch order, the persistent per-lane wire channels
+    (:class:`~repro.common.wire.WireEncoder` / ``WireDecoder``) stay in sync
+    by construction.
     """
 
-    def __init__(self, num_lanes: int) -> None:
+    def __init__(
+        self, num_lanes: int, *, ipc_profile: bool = False, seed_mode: str = "auto"
+    ) -> None:
         if num_lanes <= 0:
             raise ConfigurationError("process backend needs at least one lane")
         self.num_lanes = num_lanes
+        self.ipc_profile = ipc_profile
+        self.seed_mode = _resolve_seed_mode(seed_mode)
+        #: Per-lane IPC totals for the run (always metered).
+        self.meter = IpcMeter()
         self._pools: List[ProcessPoolExecutor] = []
         self._lane_shards: Dict[int, List[int]] = {}
+        self._lane_ids: List[int] = []
+        self._pending: List[Deque[_PendingBatch]] = []
+        self._decoders: List[WireDecoder] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -748,50 +1349,96 @@ class ProcessEngine:
         cache_capacity: Optional[int],
         obs_enabled: bool = False,
     ) -> None:
-        """Spawn the lanes and ship each its pinned shards' specs/workloads."""
+        """Spawn the lanes and hand each its pinned shards.
+
+        In ``inherit`` seed mode (fork platforms) the worker adopts the main
+        process's built registry and workload queues via the fork's
+        copy-on-write duplication — the startup order carries only the lane's
+        shard→feed pinning.  In ``wire`` mode the bulky startup payload —
+        every feed's operations and preload — crosses wire-packed
+        (:func:`encode_lane_seed`) and the specs themselves (configs,
+        factories, quotas) ride on the pickled :class:`LaneConfig`; the
+        worker rebuilds dedicated mirrors from them.
+        """
         lanes_used = min(self.num_lanes, max(1, len(shard_plan)))
-        lane_shards: Dict[int, Dict[int, Tuple[FeedSeed, ...]]] = {
+        lane_shards: Dict[int, Dict[int, Tuple[str, ...]]] = {
             lane: {} for lane in range(lanes_used)
         }
         for shard_index, shard in enumerate(shard_plan):
-            lane = shard_index % lanes_used
-            seeds = []
-            for feed_id in shard:
-                spec = registry.get(feed_id).spec
-                seeds.append(FeedSeed(spec=spec, operations=tuple(queues[feed_id])))
-            lane_shards[lane][shard_index] = tuple(seeds)
+            lane_shards[shard_index % lanes_used][shard_index] = tuple(shard)
         self._lane_shards = {
             lane: sorted(shards) for lane, shards in lane_shards.items() if shards
         }
-        configs = {
-            lane: LaneConfig(
-                schedule=registry.schedule,
-                parameters=registry.parameters,
-                router_address=registry.router.address,
-                cache_enabled=cache_enabled,
-                cache_capacity=cache_capacity,
-                shards=lane_shards[lane],
-                obs_enabled=obs_enabled,
-            )
-            for lane in self._lane_shards
-        }
-        for lane, config in configs.items():
-            try:
-                pickle.dumps(config)
-            except Exception as exc:
-                self.shutdown()
-                raise ConfigurationError(
-                    "process execution mode ships feed specs and workloads to "
-                    f"worker processes, but lane {lane}'s payload is not "
-                    f"picklable: {exc}"
-                ) from exc
-        self._pools = [ProcessPoolExecutor(max_workers=1) for _ in self._lane_shards]
-        startups = [
-            pool.submit(_lane_start, configs[lane])
-            for pool, lane in zip(self._pools, sorted(self._lane_shards))
-        ]
-        for future in startups:
-            future.result()
+        self._lane_ids = sorted(self._lane_shards)
+        configs: Dict[int, Union[LaneConfig, ForkLaneConfig]] = {}
+        if self.seed_mode == "inherit":
+            for lane in self._lane_ids:
+                configs[lane] = ForkLaneConfig(
+                    shard_feeds=lane_shards[lane],
+                    cache_enabled=cache_enabled,
+                    cache_capacity=cache_capacity,
+                    obs_enabled=obs_enabled,
+                    ipc_profile=self.ipc_profile,
+                )
+        else:
+            for lane in self._lane_ids:
+                shard_specs: Dict[int, Tuple[FeedSpec, ...]] = {}
+                lane_seeds = []
+                for shard_index in self._lane_shards[lane]:
+                    specs = []
+                    seeds = []
+                    for feed_id in lane_shards[lane][shard_index]:
+                        spec = registry.get(feed_id).spec
+                        seeds.append((tuple(queues[feed_id]), spec.preload))
+                        if spec.preload is not None:
+                            spec = replace(spec, preload=None)
+                        specs.append(spec)
+                    shard_specs[shard_index] = tuple(specs)
+                    lane_seeds.append((shard_index, seeds))
+                configs[lane] = LaneConfig(
+                    schedule=registry.schedule,
+                    parameters=registry.parameters,
+                    router_address=registry.router.address,
+                    cache_enabled=cache_enabled,
+                    cache_capacity=cache_capacity,
+                    shards=shard_specs,
+                    seed_frame=encode_lane_seed(WireEncoder(), lane_seeds),
+                    obs_enabled=obs_enabled,
+                    ipc_profile=self.ipc_profile,
+                )
+        self._pending = [deque() for _ in self._lane_ids]
+        self._decoders = [WireDecoder() for _ in self._lane_ids]
+        global _FORK_SEED
+        if self.seed_mode == "inherit":
+            _FORK_SEED = (registry, queues)
+        try:
+            # Pool workers fork at first submit, so the seed handoff above is
+            # visible to every fork-seeded lane; the startup barrier below
+            # guarantees all lanes have forked before the seed is cleared.
+            self._pools = [ProcessPoolExecutor(max_workers=1) for _ in self._lane_ids]
+            startups = [
+                pool.submit(_lane_start, configs[lane])
+                for pool, lane in zip(self._pools, self._lane_ids)
+            ]
+            for lane, future in zip(self._lane_ids, startups):
+                try:
+                    future.result()
+                except ConfigurationError:
+                    self.shutdown()
+                    raise
+                except Exception as exc:
+                    # The dominant startup failure is an unpicklable spec
+                    # payload (a consumer factory closing over live chain
+                    # objects, say); surface it as the configuration error it
+                    # is instead of a broken-pool traceback.
+                    self.shutdown()
+                    raise ConfigurationError(
+                        "process execution mode hands feed specs and "
+                        f"workloads to worker processes, but lane {lane} "
+                        f"failed to start (unpicklable spec payload?): {exc!r}"
+                    ) from exc
+        finally:
+            _FORK_SEED = None
 
     @property
     def lane_of(self) -> Dict[int, int]:
@@ -802,17 +1449,64 @@ class ProcessEngine:
             for shard in shards
         }
 
-    def run_epoch(
-        self, epoch: int, epoch_size: int, chain_height: int
-    ) -> List[ShardEpochResult]:
-        """Run one epoch on every lane concurrently; results in shard order."""
-        task = ShardTask(epoch=epoch, epoch_size=epoch_size, chain_height=chain_height)
-        futures = [pool.submit(_lane_epoch, task) for pool in self._pools]
+    # -- pipelined epochs ------------------------------------------------------
+
+    def submit_epochs(self, start: int, count: int, epoch_size: int) -> None:
+        """Queue ``count`` epochs from ``start`` on every lane as one order
+        (returns immediately).  Each lane's single worker executes the batch
+        back-to-back — one wire frame per epoch — so submitting ahead of the
+        merge keeps every lane busy and pays pool overhead once per batch."""
+        for pending, pool in zip(self._pending, self._pools):
+            pending.append(
+                _PendingBatch(
+                    pool.submit(_lane_epochs, start, count, epoch_size), start, count
+                )
+            )
+
+    def results(self, epoch: int) -> Tuple[List[ShardEpochResult], List[IpcSample]]:
+        """Wait for — and decode — every lane's frame for ``epoch``.
+
+        Must be called for epochs in submission order (the per-lane wire
+        channels are stateful); returns the shard results in fixed shard
+        order plus one :class:`IpcSample` per lane.
+        """
         results: List[ShardEpochResult] = []
-        for future in futures:
-            results.extend(future.result())
+        samples: List[IpcSample] = []
+        for lane, pending, decoder in zip(self._lane_ids, self._pending, self._decoders):
+            batch = pending[0]
+            if batch.envelopes is None:
+                batch.envelopes = batch.future.result()
+            if batch.start + batch.taken != epoch:
+                raise WireError(
+                    f"lane {lane} results requested for epoch {epoch}, but "
+                    f"the next in-flight epoch is {batch.start + batch.taken}"
+                )
+            envelope: LaneEpochEnvelope = batch.envelopes[batch.taken]
+            batch.taken += 1
+            if batch.taken == batch.count:
+                pending.popleft()
+            started = time.perf_counter()
+            frame_epoch, lane_results = decode_lane_epoch(decoder, envelope.frame)
+            decode_seconds = time.perf_counter() - started
+            if frame_epoch != epoch:
+                raise WireError(
+                    f"lane {lane} frame is for epoch {frame_epoch}, expected "
+                    f"{epoch}; lane frames must be decoded in submission order"
+                )
+            samples.append(
+                IpcSample(
+                    lane=lane,
+                    epoch=epoch,
+                    wire_bytes=envelope.frame.nbytes,
+                    encode_seconds=envelope.encode_seconds,
+                    decode_seconds=decode_seconds,
+                    legacy_pickle_bytes=envelope.legacy_pickle_bytes,
+                )
+            )
+            results.extend(lane_results)
         results.sort(key=lambda result: result.shard_index)
-        return results
+        self.meter.record(samples)
+        return results, samples
 
     def collect(self) -> List[FeedStateResult]:
         """Fetch every lane's final feed state (run end)."""
@@ -826,6 +1520,8 @@ class ProcessEngine:
         for pool in self._pools:
             pool.shutdown(wait=False, cancel_futures=True)
         self._pools = []
+        self._pending = []
+        self._decoders = []
 
 
 def apply_feed_state(
@@ -847,7 +1543,7 @@ def apply_feed_state(
     _apply_contract_state(handle.consumer, state.consumer_attrs, state.consumer_slots)
     handle.report.__dict__.update(state.report.__dict__)
     if state.sp_store_state is not None:
-        handle.system.sp_store.__dict__.update(state.sp_store_state)
+        _apply_store_delta(handle.system.sp_store, state.sp_store_state)
     handle.data_owner.trusted_root = state.do_trusted_root
     handle.data_owner.epochs_submitted = state.do_epochs_submitted
     handle.service_provider.deliveries_sent = state.sp_deliveries_sent
@@ -856,11 +1552,97 @@ def apply_feed_state(
         cache.install_shard(state.feed_id, state.cache_entries, state.cache_stats)
 
 
+def _apply_store_delta(store, delta: dict) -> None:
+    """Patch the main registry's SP store with a worker's run-end delta.
+
+    The inverse of :meth:`_LaneWorker._pack_store`: the main store starts
+    from the same seed state the worker did, so deletions, the slot-layout
+    change, the changed records and the tree patch reproduce the worker's
+    final store exactly — including the records' dict order (updates replace
+    in place, inserts append in the worker's op order, same as a serial run).
+    """
+    records = store._records
+    slot_of = store._slot_of
+    tree = store._tree
+    leaves = tree._leaves
+    for key in delta["deleted"]:
+        old = records.pop(key)
+        slot = slot_of.pop(key)
+        store._replicated_keys.discard(key)
+        store.backing.delete(old.prefixed_key)
+        leaves[slot] = TOMBSTONE_LEAF
+    layout = delta["layout"]
+    if layout[0] == "tail":
+        tail = layout[1]
+        base = len(store._slots)
+        store._slots.extend(tail)
+        for slot, key in enumerate(tail, start=base):
+            if key is not None:
+                slot_of[key] = slot
+    else:
+        _, slots, free_slots = layout
+        store._slots = list(slots)
+        store._free_slots = list(free_slots)
+        store._slot_of = slot_of = {
+            key: slot for slot, key in enumerate(slots) if key is not None
+        }
+    count = delta["leaf_count"]
+    if len(leaves) < count:
+        leaves.extend([EMPTY_DIGEST] * (count - len(leaves)))
+    membership_changed = bool(delta["deleted"])
+    backing = store.backing
+    replicated = store._replicated_keys
+    for key, value, state_value, version, slot, leaf in delta["changed"]:
+        record = KVRecord(
+            key=key,
+            value=value,
+            state=ReplicationState(state_value),
+            version=version,
+        )
+        old = records.get(key)
+        if old is None:
+            membership_changed = True
+            slot_of[key] = slot
+        elif old.prefixed_key != record.prefixed_key:
+            backing.delete(old.prefixed_key)
+        records[key] = record
+        backing.put(record.prefixed_key, record.value)
+        if record.state is ReplicationState.REPLICATED:
+            replicated.add(key)
+        else:
+            replicated.discard(key)
+        leaves[slot] = leaf
+    if membership_changed:
+        store._sorted_keys = sorted(records)
+    # Interior tree levels come over as one flat digest blob; level 0 is the
+    # leaf list padded to the tree's power-of-two width.
+    size = 1
+    while size < max(1, count):
+        size *= 2
+    level0 = list(leaves)
+    level0.extend([EMPTY_DIGEST] * (size - len(level0)))
+    levels = [level0]
+    upper = memoryview(delta["upper"])
+    offset = 0
+    width = size // 2
+    while width >= 1:
+        levels.append(
+            [
+                bytes(upper[offset + index * 32 : offset + index * 32 + 32])
+                for index in range(width)
+            ]
+        )
+        offset += width * 32
+        width //= 2
+    tree._levels = levels
+
+
 def settlement_buffer(result: SettlementResult) -> ExecutionBuffer:
     """The ledger-only absorb payload of a pre-executed settlement."""
     return ExecutionBuffer(ledger=ledger_from_wire(result.ledger_delta))
 
 
-def drive_buffer(result: ShardEpochResult) -> ExecutionBuffer:
-    """The phase-1 absorb payload of one shard's epoch result."""
-    return buffer_from_wire(result.drive)
+def drive_buffer(result: ShardEpochResult, block_number: int) -> ExecutionBuffer:
+    """The phase-1 absorb payload of one shard's epoch result, with its
+    events stamped at the absorbing chain's epoch-start height."""
+    return buffer_from_wire(result.drive, block_number=block_number)

@@ -135,6 +135,11 @@ class FleetTelemetry:
     rosters: List[tuple] = field(default_factory=list)
     #: How many shards the planner produced, parallel to ``rosters``.
     shards_per_epoch: List[int] = field(default_factory=list)
+    #: Process mode only: the run's IPC meter summary (wire bytes per epoch,
+    #: encode/decode seconds, per-lane rows; see
+    #: :class:`repro.gateway.executor.IpcMeter`).  Wall-clock measurement,
+    #: not fleet state — deliberately outside :meth:`fingerprint`.
+    ipc: Optional[dict] = None
 
     def feed(self, feed_id: str) -> FeedTelemetry:
         return self.feeds[feed_id]

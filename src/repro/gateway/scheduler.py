@@ -119,7 +119,6 @@ from repro.gateway.executor import (
     apply_feed_state,
     build_deliver_groups,
     deliver_transaction,
-    drive_buffer,
     drive_shard,
     prepare_update_groups,
     settle_feed_epoch,
@@ -132,6 +131,7 @@ from repro.gateway.planner import RoundRobinPlanner, ShardPlanner
 from repro.gateway.registry import FeedRegistry, FeedSpec
 from repro.gateway.router import DeliverGroup
 from repro.obs import DISABLED, Observability
+from repro.obs.metrics import log_buckets
 from repro.obs.tracing import reassemble_shard_spans
 from repro.storage.lsm import LSMStore
 
@@ -169,6 +169,7 @@ class EpochScheduler:
         planner: Optional[ShardPlanner] = None,
         execution_mode: str = "thread",
         obs: Optional[Observability] = None,
+        ipc_profile: bool = False,
     ) -> None:
         if num_shards <= 0:
             raise ConfigurationError("num_shards must be positive")
@@ -215,6 +216,12 @@ class EpochScheduler:
         #: into planning, gas or state, which keeps fingerprints bit-identical
         #: with it on or off, across every backend.
         self.obs = obs if obs is not None else DISABLED
+        #: Process mode only: additionally measure what each epoch's lane
+        #: results *would* cost as a generic protocol-5 pickle, so the wire
+        #: codec's byte reduction is recorded per run (``FleetTelemetry.ipc``)
+        #: rather than asserted.  Off by default — the comparison pickle is
+        #: itself the overhead the codec exists to avoid.
+        self.ipc_profile = ipc_profile
         if self.obs.enabled:
             self.registry.chain.obs = self.obs
             self.planner.obs = self.obs
@@ -783,9 +790,29 @@ class EpochScheduler:
         shard_plan = self.planner.plan(
             active, block_gas_limit=chain.parameters.block_gas_limit
         )
-        engine = ProcessEngine(self.num_workers)
+        engine = ProcessEngine(self.num_workers, ipc_profile=self.ipc_profile)
         remaining = {feed_id: len(queues[feed_id]) for feed_id in active}
-        epoch = 0
+
+        def guaranteed_epochs() -> int:
+            """How many more epochs are certain to run, from the remaining
+            workload counts alone.  A feed with ``r`` queued operations needs
+            at least ``ceil(r / epoch_size)`` more epochs — quotas and gas
+            caps can only *reduce* per-epoch consumption, never raise it, so
+            this is a lower bound the scheduler may safely submit ahead."""
+            return max(
+                (-(-count // epoch_size) for count in remaining.values() if count),
+                default=0,
+            )
+
+        # Pipelined run: keep every lane's queue primed with all epochs the
+        # remaining workloads guarantee, and merge results behind the lanes.
+        # After each merge the bound can shrink by at most one (the epoch just
+        # merged), so ``target`` never drops below what is already submitted
+        # — every submitted epoch is merged, and the loop ends with
+        # ``submitted == merged`` (no orphaned lane work).
+        submitted = 0
+        merged = 0
+        target = guaranteed_epochs()
         try:
             engine.start(
                 self.registry,
@@ -796,31 +823,38 @@ class EpochScheduler:
                 obs_enabled=self.obs.enabled,
             )
             with self.obs.span("run", mode="process"):
-                while any(remaining.values()):
-                    fleet.rosters.append((epoch, sorted(active)))
+                while merged < target:
+                    if submitted < target:
+                        engine.submit_epochs(submitted, target - submitted, epoch_size)
+                        submitted = target
+                    fleet.rosters.append((merged, sorted(active)))
                     fleet.shards_per_epoch.append(len(shard_plan))
-                    with self.obs.span("epoch", epoch=epoch) as epoch_span:
-                        results = engine.run_epoch(epoch, epoch_size, chain.height)
+                    with self.obs.span("epoch", epoch=merged) as epoch_span:
+                        results, samples = engine.results(merged)
                         # The lanes' per-shard phase spans graft under this
                         # epoch in fixed shard order, before the merge span,
                         # so the tree reads in canonical phase order.
                         self._graft_lane_spans(epoch_span, results, engine)
                         # Deterministic merge, mirroring the serial phase
-                        # order: every shard's drive buffer, then one
-                        # recorded block per shard deliver, then one per
-                        # shard update — all in fixed shard order.
-                        with self.obs.phase("merge", epoch=epoch):
+                        # order: every shard's drive buffer (events stamped at
+                        # this epoch's starting height), then one recorded
+                        # block per shard deliver, then one per shard update —
+                        # all in fixed shard order.
+                        with self.obs.phase("merge", epoch=merged):
+                            height = chain.height
                             for result in results:
-                                chain.absorb(drive_buffer(result))
+                                chain.absorb_wire(result.drive, height)
                             for result in results:
                                 if result.deliver is not None:
                                     self._record_settlement(result.deliver, fleet)
                             for result in results:
                                 if result.update is not None:
                                     self._record_settlement(result.update, fleet)
+                    self._observe_ipc(samples)
                     for result in results:
                         remaining.update(result.remaining)
-                    epoch += 1
+                    merged += 1
+                    target = merged + guaranteed_epochs()
             # Run over: pull every worker's final feed state back into the
             # main registry's mirrors, so post-run inspection (contract
             # storage, roots, reports, cache) sees serial-identical state.
@@ -831,10 +865,33 @@ class EpochScheduler:
             engine.shutdown()
 
         fleet.wall_seconds = time.perf_counter() - wall_start
-        fleet.epochs_run = epoch
+        fleet.epochs_run = merged
         fleet.blocks_mined = chain.height - blocks_before
-        self.epochs_run += epoch
+        fleet.ipc = engine.meter.summary()
+        self.epochs_run += merged
         return fleet
+
+    #: Byte-count histograms need byte-scaled buckets — the default log
+    #: buckets are seconds-oriented (10µs–40s).  64 B–128 MB, doubling.
+    _IPC_BYTE_BUCKETS = log_buckets(start=64.0, factor=2.0, count=22)
+
+    def _observe_ipc(self, samples) -> None:
+        """Feed one epoch's per-lane IPC samples into the obs histograms
+        (``ipc_bytes_per_epoch`` / ``ipc_encode_seconds`` /
+        ``ipc_decode_seconds``, labelled by lane)."""
+        if not self.obs.enabled:
+            return
+        for sample in samples:
+            lane = str(sample.lane)
+            self.obs.histogram(
+                "ipc_bytes_per_epoch", buckets=self._IPC_BYTE_BUCKETS, lane=lane
+            ).observe(float(sample.wire_bytes))
+            self.obs.histogram("ipc_encode_seconds", lane=lane).observe(
+                sample.encode_seconds
+            )
+            self.obs.histogram("ipc_decode_seconds", lane=lane).observe(
+                sample.decode_seconds
+            )
 
     def _graft_lane_spans(self, epoch_span, results, engine: ProcessEngine) -> None:
         """Fold the lanes' per-shard phase spans into the main trace tree.

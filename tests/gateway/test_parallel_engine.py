@@ -20,6 +20,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.types import KVRecord, Operation
 from repro.core.config import GrubConfig
 from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec, GasAwareShardPlanner
+from repro.obs import Observability
 from repro.workloads.synthetic import SyntheticWorkload
 
 
@@ -99,13 +100,21 @@ def chain_state_fingerprint(registry: FeedRegistry) -> dict:
     }
 
 
-def run_fleet(num_workers: int, num_shards: int = 4, execution_mode: str = "thread"):
+def run_fleet(
+    num_workers: int,
+    num_shards: int = 4,
+    execution_mode: str = "thread",
+    with_obs: bool = False,
+    ipc_profile: bool = False,
+):
     registry, workloads = build_mixed_fleet()
     scheduler = EpochScheduler(
         registry,
         num_shards=num_shards,
         num_workers=num_workers,
         execution_mode=execution_mode,
+        obs=Observability() if with_obs else None,
+        ipc_profile=ipc_profile,
     )
     fleet = scheduler.run(workloads)
     return fleet, registry
@@ -256,6 +265,67 @@ class TestExecutionModeEquivalence:
             assert (
                 process_handle.consumer.deliveries() == serial_handle.consumer.deliveries()
             )
+
+
+class TestWireCodecEquivalence:
+    """The compact wire boundary must be invisible in every output —
+    with and without observability attached, in both seed modes."""
+
+    def test_three_modes_bit_identical_with_obs_enabled(self):
+        serial_fleet, serial_registry = run_fleet(
+            1, execution_mode="serial", with_obs=True
+        )
+        thread_fleet, thread_registry = run_fleet(
+            4, execution_mode="thread", with_obs=True
+        )
+        process_fleet, process_registry = run_fleet(
+            2, execution_mode="process", with_obs=True
+        )
+        serial_print = serial_fleet.fingerprint()
+        assert thread_fleet.fingerprint() == serial_print
+        assert process_fleet.fingerprint() == serial_print
+        serial_chain = chain_state_fingerprint(serial_registry)
+        assert chain_state_fingerprint(thread_registry) == serial_chain
+        assert chain_state_fingerprint(process_registry) == serial_chain
+
+    def test_obs_enabled_matches_obs_disabled(self):
+        quiet_fleet, quiet_registry = run_fleet(2, execution_mode="process")
+        traced_fleet, traced_registry = run_fleet(
+            2, execution_mode="process", with_obs=True
+        )
+        assert traced_fleet.fingerprint() == quiet_fleet.fingerprint()
+        assert chain_state_fingerprint(traced_registry) == chain_state_fingerprint(
+            quiet_registry
+        )
+
+    def test_wire_seed_mode_bit_identical_to_serial(self, monkeypatch):
+        """Force the explicit wire seed path (fork inheritance is the Linux
+        default, so without the override it never runs here)."""
+        serial_fleet, serial_registry = run_fleet(1, execution_mode="serial")
+        monkeypatch.setenv("GRUB_PROCESS_SEED", "wire")
+        process_fleet, process_registry = run_fleet(2, execution_mode="process")
+        assert process_fleet.fingerprint() == serial_fleet.fingerprint()
+        assert chain_state_fingerprint(process_registry) == chain_state_fingerprint(
+            serial_registry
+        )
+
+    def test_ipc_meter_reports_traffic_and_stays_out_of_fingerprint(self):
+        quiet_fleet, _ = run_fleet(2, execution_mode="process")
+        profiled_fleet, _ = run_fleet(
+            2, execution_mode="process", ipc_profile=True
+        )
+        assert profiled_fleet.fingerprint() == quiet_fleet.fingerprint()
+        for summary in (quiet_fleet.ipc, profiled_fleet.ipc):
+            assert summary is not None
+            assert summary["wire_bytes_total"] > 0
+            assert summary["bytes_per_epoch"] > 0
+            assert summary["epochs"] > 0
+        # profiling adds the pickle comparison; the plain run omits it
+        assert "reduction_vs_pickle" not in quiet_fleet.ipc
+        assert 0.0 < profiled_fleet.ipc["reduction_vs_pickle"] < 1.0
+        # serial runs have no process boundary, hence no IPC record
+        serial_fleet, _ = run_fleet(1, execution_mode="serial")
+        assert serial_fleet.ipc is None
 
 
 class TestProcessModeConstraints:
