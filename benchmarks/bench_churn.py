@@ -70,11 +70,15 @@ DEFAULT_SEED = 20260730
 
 
 def build_schedule(
-    seed: int, ops_per_feed: int, *, correlated: bool = False
+    seed: int,
+    ops_per_feed: int,
+    *,
+    base_feeds: int = NUM_BASE_FEEDS,
+    correlated: bool = False,
 ) -> FleetChurnWorkload:
     return FleetChurnWorkload(
         seed=seed,
-        base_feeds=NUM_BASE_FEEDS,
+        base_feeds=base_feeds,
         joins=JOINS,
         leaves=LEAVES,
         burst_tenants=BURST_TENANTS,
@@ -93,17 +97,30 @@ def run_fleet(
     ops_per_feed: int,
     num_workers: int,
     *,
+    base_feeds: int = NUM_BASE_FEEDS,
     correlated: bool = False,
     obs: Observability | None = None,
+    execution_mode: str | None = None,
 ):
-    schedule = build_schedule(seed, ops_per_feed, correlated=correlated).generate()
+    """One churn run; the importable unit the experiment runner drives.
+
+    ``execution_mode`` defaults to the scheduler's thread backend (the
+    benchmark's historical behaviour); pass ``"serial"`` for an inline run.
+    The process backend rejects churn by design — the runner never routes
+    churn cells there.
+    """
+    schedule = build_schedule(
+        seed, ops_per_feed, base_feeds=base_feeds, correlated=correlated
+    ).generate()
     registry = FeedRegistry()
+    kwargs = {} if execution_mode is None else {"execution_mode": execution_mode}
     scheduler = EpochScheduler(
         registry,
         num_workers=num_workers,
         epoch_size=EPOCH_SIZE,
         planner=GasAwareShardPlanner(block_gas_fraction=BLOCK_GAS_FRACTION),
         obs=obs,
+        **kwargs,
     )
     workloads = schedule.install(registry, scheduler)
     fleet = scheduler.run(workloads)
@@ -390,7 +407,22 @@ def test_churn(benchmark):
     assert payload["results"]["admissions"] >= 8
 
 
-def main() -> int:
+def write_seed_file(output: Path, seed: int, ops: int) -> Path:
+    """Record the schedule seed and repro command next to the results file.
+
+    Called *before* anything fallible runs, so a failing CI job always has a
+    seed file to upload (the workflow's failure-artifact step depends on it).
+    """
+    seed_file = output.parent / "BENCH_churn_seed.txt"
+    seed_file.write_text(
+        f"seed={seed} ops_per_feed={ops} "
+        f"repro: PYTHONPATH=src python benchmarks/bench_churn.py "
+        f"--seed {seed} --ops {ops}\n"
+    )
+    return seed_file
+
+
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke",
@@ -407,15 +439,11 @@ def main() -> int:
         default=Path(__file__).resolve().parent.parent / "BENCH_churn.json",
         help="where to write the JSON results (default: repo-root BENCH_churn.json)",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     ops = args.ops or (SMOKE_OPS_PER_FEED if args.smoke else FULL_OPS_PER_FEED)
-    # Record the seed before running, so a failed CI job can still upload it.
-    seed_file = args.output.parent / "BENCH_churn_seed.txt"
-    seed_file.write_text(
-        f"seed={args.seed} ops_per_feed={ops} "
-        f"repro: PYTHONPATH=src python benchmarks/bench_churn.py "
-        f"--seed {args.seed} --ops {ops}\n"
-    )
+    # Guarantee the seed file exists before the run starts (and therefore
+    # whenever the run fails), so a failed CI job can still upload it.
+    write_seed_file(args.output, args.seed, ops)
     started = time.perf_counter()
     payload = run_benchmark(args.seed, ops)
     payload["config"]["smoke"] = bool(args.smoke)

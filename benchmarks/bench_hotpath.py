@@ -11,23 +11,23 @@ versus the serial run.  Three hard checks:
   core guarantee); a violation exits non-zero, which is what the CI perf-smoke
   job gates on;
 * **trajectory** — results are written to ``BENCH_hotpath.json`` so future
-  PRs have a recorded perf trajectory to beat;
-* **regression** (``--check-regression FILE``) — the fresh serial ops/sec must
-  not drop more than ``--regression-tolerance`` (default 20%) below the serial
-  figure recorded in ``FILE``; the CI ``perf-regression`` job runs this
-  against the committed ``BENCH_hotpath.json``.
+  PRs have a recorded perf trajectory to beat.
+
+Regression gating no longer lives here: the old single-sample
+``--check-regression`` / ``--check-ipc-regression`` floors were replaced by
+the statistical gate in ``benchmarks/runner.py`` (mean ± CI per cell,
+Welch's t / bootstrap-CI separation; see ``repro.analysis.stats``).  The
+runner drives this module's machinery through the importable entry points
+(:func:`build_workloads`, :func:`build_registry`, :func:`run_fleet_once`)
+rather than shelling out to the script.
 
 Process-mode sweep records always carry the run's IPC meter summary (wire
 bytes per epoch, encode/decode seconds, per-lane rows).  ``--profile-ipc``
 additionally has each worker measure what the same epoch results would have
 cost as a generic protocol-5 pickle, recording the codec's
-``reduction_vs_pickle``; ``--check-ipc-regression FILE`` fails the run if any
-fresh process configuration's ``ipc_bytes_per_epoch`` grew more than 20%
-above the matching figure recorded in ``FILE`` (the CI ``process-smoke`` job
-runs this against the committed ``BENCH_hotpath.json``).  On hosts granted a
-single effective CPU the results carry ``"multicore_sweep": "pending"`` so a
-reader knows the recorded process numbers measure boundary overhead, not
-scaling.
+``reduction_vs_pickle``.  On hosts granted a single effective CPU the
+results carry ``"multicore_sweep": "pending"`` so a reader knows the
+recorded process numbers measure boundary overhead, not scaling.
 
 A note on scaling regimes: the *thread* backend is bounded by the GIL on
 CPython — it can only match serial throughput, never multiply it.  The
@@ -78,6 +78,13 @@ FULL_REPEATS = 3
 QUICK_REPEATS = 1
 PRELOAD_KEYS = 128
 
+#: Read/write mixes selectable by the experiment runner's ``workload`` factor.
+PROFILE_RATIOS = {
+    "mixed": 4.0,
+    "read_heavy": 8.0,
+    "write_heavy": 1.0,
+}
+
 
 def effective_cpus() -> int:
     """CPUs this process may actually schedule on (affinity-aware)."""
@@ -110,31 +117,79 @@ def host_facts() -> dict:
     }
 
 
-def build_workloads(ops_per_feed: int) -> Dict[str, List[Operation]]:
+def build_workloads(
+    ops_per_feed: int,
+    *,
+    num_feeds: int = NUM_FEEDS,
+    profile: str = "mixed",
+) -> Dict[str, List[Operation]]:
+    """Per-feed synthetic workloads at one of the named read/write profiles."""
+    if profile not in PROFILE_RATIOS:
+        raise ValueError(
+            f"unknown workload profile {profile!r}; "
+            f"expected one of {sorted(PROFILE_RATIOS)}"
+        )
     return {
         f"feed-{index:02d}": SyntheticWorkload(
-            read_write_ratio=4.0,
+            read_write_ratio=PROFILE_RATIOS[profile],
             num_operations=ops_per_feed,
             num_keys=32,
             key_prefix=f"asset{index:02d}-",
             seed=index + 1,
         ).operations()
-        for index in range(NUM_FEEDS)
+        for index in range(num_feeds)
     }
 
 
-def build_registry() -> FeedRegistry:
+def build_registry(
+    *,
+    num_feeds: int = NUM_FEEDS,
+    preload_keys: int = PRELOAD_KEYS,
+    epoch_size: int = EPOCH_SIZE,
+) -> FeedRegistry:
     registry = FeedRegistry()
-    config = GrubConfig(epoch_size=EPOCH_SIZE, algorithm="memoryless", k=2)
-    for index in range(NUM_FEEDS):
+    config = GrubConfig(epoch_size=epoch_size, algorithm="memoryless", k=2)
+    for index in range(num_feeds):
         preload = [
             KVRecord.make(f"asset{index:02d}-{j:04d}", bytes(32))
-            for j in range(PRELOAD_KEYS)
+            for j in range(preload_keys)
         ]
         registry.create_feed(
             FeedSpec(feed_id=f"feed-{index:02d}", config=config, preload=preload)
         )
     return registry
+
+
+def run_fleet_once(
+    execution_mode: str,
+    num_workers: int,
+    workloads: Dict[str, List[Operation]],
+    *,
+    num_shards: int = NUM_SHARDS,
+    epoch_size: int = EPOCH_SIZE,
+    preload_keys: int = PRELOAD_KEYS,
+    obs=None,
+    ipc_profile: bool = False,
+):
+    """One measured fleet run; the importable unit the experiment runner drives.
+
+    Returns ``(registry, fleet)`` so callers can read telemetry, gas bills and
+    chain state.  The registry is built fresh per call (feed ids follow the
+    ``feed-NN`` convention of :func:`build_workloads`).
+    """
+    registry = build_registry(
+        num_feeds=len(workloads), preload_keys=preload_keys, epoch_size=epoch_size
+    )
+    scheduler = EpochScheduler(
+        registry,
+        num_shards=num_shards,
+        num_workers=num_workers,
+        execution_mode=execution_mode,
+        obs=obs,
+        ipc_profile=ipc_profile,
+    )
+    fleet = scheduler.run(workloads)
+    return registry, fleet
 
 
 def _ipc_record(summary: dict) -> dict:
@@ -174,15 +229,9 @@ def run_configuration(
     fingerprint = None
     gas_bills = None
     for _ in range(repeats):
-        registry = build_registry()
-        scheduler = EpochScheduler(
-            registry,
-            num_shards=NUM_SHARDS,
-            num_workers=num_workers,
-            execution_mode=execution_mode,
-            ipc_profile=profile_ipc,
+        registry, fleet = run_fleet_once(
+            execution_mode, num_workers, workloads, ipc_profile=profile_ipc
         )
-        fleet = scheduler.run(workloads)
         fingerprint = fleet.fingerprint()
         gas_bills = {
             feed_id: registry.chain.ledger.scope_total(feed_id)
@@ -407,69 +456,6 @@ def run_sweep(
     return payload
 
 
-def check_regression(payload: dict, committed_path: Path, tolerance: float) -> None:
-    """Fail (raise) if serial ops/sec regressed beyond ``tolerance``."""
-    committed = json.loads(committed_path.read_text())
-    committed_serial = committed["serial"]["ops_per_sec"]
-    fresh_serial = payload["serial"]["ops_per_sec"]
-    floor = committed_serial * (1.0 - tolerance)
-    print(
-        f"perf-regression check: fresh serial {fresh_serial:,.0f} ops/s vs "
-        f"committed {committed_serial:,.0f} ops/s "
-        f"(floor {floor:,.0f} at {tolerance:.0%} tolerance)"
-    )
-    if fresh_serial < floor:
-        raise AssertionError(
-            f"serial throughput regressed: {fresh_serial:,.0f} ops/s is more "
-            f"than {tolerance:.0%} below the committed "
-            f"{committed_serial:,.0f} ops/s"
-        )
-
-
-def check_ipc_regression(
-    payload: dict, committed_path: Path, tolerance: float = 0.2
-) -> None:
-    """Fail (raise) if any process lane's wire bytes/epoch grew past ``tolerance``.
-
-    Fresh process records are matched to the committed sweep by lane count;
-    byte counts are deterministic for a fixed workload, so the tolerance only
-    absorbs deliberate format evolution, not noise.  Raises if there is
-    nothing comparable — a silently skipped gate is worse than a loud one.
-    """
-    committed = json.loads(committed_path.read_text())
-    committed_ipc = {
-        record["num_workers"]: record["ipc"]["bytes_per_epoch"]
-        for record in committed.get("sweep", [])
-        if record["execution_mode"] == "process" and "ipc" in record
-    }
-    compared = 0
-    for record in payload["sweep"]:
-        if record["execution_mode"] != "process" or "ipc" not in record:
-            continue
-        lanes = record["num_workers"]
-        if lanes not in committed_ipc:
-            continue
-        fresh = record["ipc"]["bytes_per_epoch"]
-        ceiling = committed_ipc[lanes] * (1.0 + tolerance)
-        compared += 1
-        print(
-            f"ipc-regression check: process/{lanes} fresh {fresh:,.1f} B/epoch "
-            f"vs committed {committed_ipc[lanes]:,.1f} B/epoch "
-            f"(ceiling {ceiling:,.1f} at {tolerance:.0%} tolerance)"
-        )
-        if fresh > ceiling:
-            raise AssertionError(
-                f"process/{lanes} wire bytes regressed: {fresh:,.1f} B/epoch "
-                f"is more than {tolerance:.0%} above the committed "
-                f"{committed_ipc[lanes]:,.1f} B/epoch"
-            )
-    if compared == 0:
-        raise AssertionError(
-            f"--check-ipc-regression found no comparable process records "
-            f"between this run and {committed_path}"
-        )
-
-
 def write_results(payload: dict, output: Path) -> None:
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"results written to {output}")
@@ -525,41 +511,11 @@ def main() -> int:
         "--repeats", type=int, default=None, help="repeats per configuration (best kept)"
     )
     parser.add_argument(
-        "--check-regression",
-        type=Path,
-        default=None,
-        metavar="COMMITTED_JSON",
-        help="compare the fresh serial ops/sec against this recorded "
-        "BENCH_hotpath.json and exit non-zero on a regression",
-    )
-    parser.add_argument(
-        "--regression-tolerance",
-        type=float,
-        default=0.2,
-        help="allowed fractional drop below the committed serial ops/sec "
-        "before --check-regression fails (default 0.2)",
-    )
-    parser.add_argument(
         "--profile-ipc",
         action="store_true",
         help="also measure what each process-mode epoch would have cost as a "
-        "generic protocol-5 pickle and record reduction_vs_pickle",
-    )
-    parser.add_argument(
-        "--check-ipc-regression",
-        type=Path,
-        default=None,
-        metavar="COMMITTED_JSON",
-        help="compare fresh process-mode wire bytes/epoch against this "
-        "recorded BENCH_hotpath.json and exit non-zero if any lane count "
-        "grew more than --ipc-tolerance above it",
-    )
-    parser.add_argument(
-        "--ipc-tolerance",
-        type=float,
-        default=0.2,
-        help="allowed fractional growth above the committed bytes/epoch "
-        "before --check-ipc-regression fails (default 0.2)",
+        "generic protocol-5 pickle and record reduction_vs_pickle "
+        "(regression gating lives in benchmarks/runner.py)",
     )
     parser.add_argument(
         "--output",
@@ -584,10 +540,6 @@ def main() -> int:
     )
     payload["config"]["quick"] = bool(args.quick)
     write_results(payload, args.output)
-    if args.check_regression is not None:
-        check_regression(payload, args.check_regression, args.regression_tolerance)
-    if args.check_ipc_regression is not None:
-        check_ipc_regression(payload, args.check_ipc_regression, args.ipc_tolerance)
     print(f"sweep completed in {time.perf_counter() - started:.1f}s")
     return 0
 

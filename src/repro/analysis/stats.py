@@ -1,0 +1,447 @@
+"""Statistics for benchmark samples: summaries, confidence intervals, gating.
+
+Every committed performance number used to be a best-of-N point estimate, and
+the CI perf gates compared *single samples* against a fixed percentage floor —
+so real regressions could hide inside host noise and noise could masquerade as
+a regression.  This module is the repair: experiments keep every sample, and
+comparisons are made between *distributions*:
+
+* :func:`summarize` — mean, sample stddev, and a 95% (configurable)
+  Student-t confidence interval for a cell's samples,
+* :func:`bootstrap_interval` — a seeded percentile-bootstrap CI of the mean,
+  for when normality is too strong an assumption,
+* :func:`welch_t` — Welch's unequal-variance t statistic with
+  Welch–Satterthwaite degrees of freedom,
+* :func:`effect_size` — Cohen's d on the pooled stddev,
+* :func:`compare_cells` — everything above for one baseline/current pair,
+* :func:`check_regression` — the gate: flags a regression only when the
+  change is in the bad direction, the two confidence intervals *separate*
+  (equivalently Welch's t exceeds its critical value), and the effect clears
+  an explicit noise floor.  A single slow sample can no longer fail CI, and a
+  real 30% cliff cannot hide behind one lucky sample either.
+
+Everything here is stdlib-only (``math``/``random``/``statistics``) so the
+benchmarks and the CI gate run on a bare ``pip install pytest`` environment.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SampleSummary",
+    "CellComparison",
+    "RegressionVerdict",
+    "t_critical",
+    "t_interval",
+    "bootstrap_interval",
+    "summarize",
+    "welch_t",
+    "effect_size",
+    "compare_cells",
+    "check_regression",
+]
+
+
+# ---------------------------------------------------------------------------
+# Student-t critical values
+# ---------------------------------------------------------------------------
+
+#: Two-sided critical values of Student's t, keyed by confidence level, as
+#: (degrees_of_freedom, critical_value) rows.  Interpolation between rows is
+#: linear in 1/df (the curve is close to linear in 1/df, so the error from
+#: interpolation is < 0.001 everywhere it matters); beyond the last finite
+#: row the normal quantile takes over.
+_T_TABLE: Dict[float, Tuple[Tuple[float, float], ...]] = {
+    0.90: (
+        (1, 6.314), (2, 2.920), (3, 2.353), (4, 2.132), (5, 2.015),
+        (6, 1.943), (7, 1.895), (8, 1.860), (9, 1.833), (10, 1.812),
+        (11, 1.796), (12, 1.782), (13, 1.771), (14, 1.761), (15, 1.753),
+        (16, 1.746), (17, 1.740), (18, 1.734), (19, 1.729), (20, 1.725),
+        (22, 1.717), (24, 1.711), (26, 1.706), (28, 1.701), (30, 1.697),
+        (40, 1.684), (60, 1.671), (120, 1.658), (math.inf, 1.645),
+    ),
+    0.95: (
+        (1, 12.706), (2, 4.303), (3, 3.182), (4, 2.776), (5, 2.571),
+        (6, 2.447), (7, 2.365), (8, 2.306), (9, 2.262), (10, 2.228),
+        (11, 2.201), (12, 2.179), (13, 2.160), (14, 2.145), (15, 2.131),
+        (16, 2.120), (17, 2.110), (18, 2.101), (19, 2.093), (20, 2.086),
+        (22, 2.074), (24, 2.064), (26, 2.056), (28, 2.048), (30, 2.042),
+        (40, 2.021), (60, 2.000), (120, 1.980), (math.inf, 1.960),
+    ),
+    0.99: (
+        (1, 63.657), (2, 9.925), (3, 5.841), (4, 4.604), (5, 4.032),
+        (6, 3.707), (7, 3.499), (8, 3.355), (9, 3.250), (10, 3.169),
+        (11, 3.106), (12, 3.055), (13, 3.012), (14, 2.977), (15, 2.947),
+        (16, 2.921), (17, 2.898), (18, 2.878), (19, 2.861), (20, 2.845),
+        (22, 2.819), (24, 2.797), (26, 2.779), (28, 2.763), (30, 2.750),
+        (40, 2.704), (60, 2.660), (120, 2.617), (math.inf, 2.576),
+    ),
+}
+
+
+def t_critical(df: float, confidence: float = 0.95) -> float:
+    """Two-sided critical value of Student's t for ``df`` degrees of freedom.
+
+    ``df`` may be fractional (Welch–Satterthwaite produces fractional df);
+    values between table rows are interpolated linearly in 1/df.  Supported
+    confidence levels: 0.90, 0.95, 0.99.
+    """
+    if confidence not in _T_TABLE:
+        raise ValueError(
+            f"unsupported confidence {confidence!r}; "
+            f"expected one of {sorted(_T_TABLE)}"
+        )
+    if df <= 0 or math.isnan(df):
+        raise ValueError(f"degrees of freedom must be positive, got {df!r}")
+    table = _T_TABLE[confidence]
+    if df <= table[0][0]:
+        return table[0][1]
+    for (df_lo, t_lo), (df_hi, t_hi) in zip(table, table[1:]):
+        if df <= df_hi:
+            if math.isinf(df_hi):
+                # Interpolate between the last finite row and the normal
+                # quantile using 1/df (1/inf == 0).
+                inv_lo, inv = 1.0 / df_lo, 1.0 / df
+                return t_hi + (t_lo - t_hi) * (inv / inv_lo)
+            inv_lo, inv_hi, inv = 1.0 / df_lo, 1.0 / df_hi, 1.0 / df
+            fraction = (inv - inv_lo) / (inv_hi - inv_lo)
+            return t_lo + fraction * (t_hi - t_lo)
+    return table[-1][1]  # pragma: no cover - inf row always matches
+
+
+# ---------------------------------------------------------------------------
+# Summaries and intervals
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean ± CI for one cell's retained samples."""
+
+    n: int
+    mean: float
+    stddev: float
+    ci_low: float
+    ci_high: float
+    confidence: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci_half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def contains(self, value: float) -> bool:
+        return self.ci_low <= value <= self.ci_high
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "confidence": self.confidence,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def t_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Student-t confidence interval for the mean of ``samples``.
+
+    A single sample (or zero spread) yields the degenerate point interval —
+    deterministic metrics like wire bytes/epoch legitimately have stddev 0
+    and still want a well-defined comparison.
+    """
+    if not samples:
+        raise ValueError("t_interval needs at least one sample")
+    mean = statistics.fmean(samples)
+    if len(samples) == 1:
+        return (mean, mean)
+    stddev = statistics.stdev(samples)
+    half = t_critical(len(samples) - 1, confidence) * stddev / math.sqrt(len(samples))
+    return (mean - half, mean + half)
+
+
+def bootstrap_interval(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    *,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Seeded percentile-bootstrap confidence interval for the mean."""
+    if not samples:
+        raise ValueError("bootstrap_interval needs at least one sample")
+    if len(samples) == 1:
+        return (samples[0], samples[0])
+    rng = random.Random(seed)
+    n = len(samples)
+    means = sorted(
+        statistics.fmean(rng.choices(samples, k=n)) for _ in range(resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = min(resamples - 1, max(0, int(math.floor(alpha * resamples))))
+    hi_index = min(resamples - 1, max(0, int(math.ceil((1.0 - alpha) * resamples)) - 1))
+    return (means[lo_index], means[hi_index])
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> SampleSummary:
+    """Mean, sample stddev and t-interval for one cell's samples."""
+    if not samples:
+        raise ValueError("summarize needs at least one sample")
+    mean = statistics.fmean(samples)
+    stddev = statistics.stdev(samples) if len(samples) > 1 else 0.0
+    ci_low, ci_high = t_interval(samples, confidence)
+    return SampleSummary(
+        n=len(samples),
+        mean=mean,
+        stddev=stddev,
+        ci_low=ci_low,
+        ci_high=ci_high,
+        confidence=confidence,
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Two-sample comparison
+# ---------------------------------------------------------------------------
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Welch's t statistic and Welch–Satterthwaite degrees of freedom.
+
+    Handles the degenerate zero-variance case (deterministic metrics):
+    identical means give ``(0, 1)``; different means with zero spread give
+    ``(±inf, 1)`` — an infinitely confident separation.
+    """
+    if len(a) < 1 or len(b) < 1:
+        raise ValueError("welch_t needs at least one sample per side")
+    mean_a, mean_b = statistics.fmean(a), statistics.fmean(b)
+    var_a = statistics.variance(a) if len(a) > 1 else 0.0
+    var_b = statistics.variance(b) if len(b) > 1 else 0.0
+    se_sq = var_a / len(a) + var_b / len(b)
+    if se_sq == 0.0:
+        if mean_a == mean_b:
+            return (0.0, 1.0)
+        return (math.copysign(math.inf, mean_a - mean_b), 1.0)
+    t = (mean_a - mean_b) / math.sqrt(se_sq)
+    numerator = se_sq * se_sq
+    denominator = 0.0
+    if var_a > 0 and len(a) > 1:
+        denominator += (var_a / len(a)) ** 2 / (len(a) - 1)
+    if var_b > 0 and len(b) > 1:
+        denominator += (var_b / len(b)) ** 2 / (len(b) - 1)
+    df = numerator / denominator if denominator > 0 else 1.0
+    return (t, max(df, 1.0))
+
+
+def effect_size(a: Sequence[float], b: Sequence[float]) -> float:
+    """Cohen's d between two sample sets (pooled stddev).
+
+    Zero pooled spread degenerates to ``0`` for equal means and ``±inf``
+    otherwise, mirroring :func:`welch_t`.
+    """
+    if len(a) < 1 or len(b) < 1:
+        raise ValueError("effect_size needs at least one sample per side")
+    mean_a, mean_b = statistics.fmean(a), statistics.fmean(b)
+    var_a = statistics.variance(a) if len(a) > 1 else 0.0
+    var_b = statistics.variance(b) if len(b) > 1 else 0.0
+    weight_a, weight_b = max(len(a) - 1, 0), max(len(b) - 1, 0)
+    if weight_a + weight_b == 0:
+        pooled = 0.0
+    else:
+        pooled = math.sqrt(
+            (weight_a * var_a + weight_b * var_b) / (weight_a + weight_b)
+        )
+    if pooled == 0.0:
+        if mean_a == mean_b:
+            return 0.0
+        return math.copysign(math.inf, mean_a - mean_b)
+    return (mean_a - mean_b) / pooled
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """Everything :func:`check_regression` looks at for one metric."""
+
+    baseline: SampleSummary
+    current: SampleSummary
+    mean_diff: float
+    relative_change: float
+    cohen_d: float
+    t_statistic: float
+    welch_df: float
+    welch_significant: bool
+    intervals_disjoint: bool
+    bootstrap_disjoint: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "baseline": self.baseline.as_dict(),
+            "current": self.current.as_dict(),
+            "mean_diff": self.mean_diff,
+            "relative_change": self.relative_change,
+            "cohen_d": self.cohen_d,
+            "t_statistic": self.t_statistic,
+            "welch_df": self.welch_df,
+            "welch_significant": self.welch_significant,
+            "intervals_disjoint": self.intervals_disjoint,
+            "bootstrap_disjoint": self.bootstrap_disjoint,
+        }
+
+
+def _disjoint(a: Tuple[float, float], b: Tuple[float, float]) -> bool:
+    return a[1] < b[0] or b[1] < a[0]
+
+
+def compare_cells(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    confidence: float = 0.95,
+    *,
+    bootstrap_resamples: int = 2000,
+    bootstrap_seed: int = 0,
+) -> CellComparison:
+    """Compare two sample sets of the same metric (baseline vs current)."""
+    base = summarize(baseline, confidence)
+    curr = summarize(current, confidence)
+    t, df = welch_t(current, baseline)
+    significant = abs(t) > t_critical(df, confidence)
+    boot_base = bootstrap_interval(
+        baseline, confidence, resamples=bootstrap_resamples, seed=bootstrap_seed
+    )
+    boot_curr = bootstrap_interval(
+        current, confidence, resamples=bootstrap_resamples, seed=bootstrap_seed + 1
+    )
+    mean_diff = curr.mean - base.mean
+    relative = mean_diff / base.mean if base.mean != 0 else 0.0
+    return CellComparison(
+        baseline=base,
+        current=curr,
+        mean_diff=mean_diff,
+        relative_change=relative,
+        cohen_d=effect_size(current, baseline),
+        t_statistic=t,
+        welch_df=df,
+        welch_significant=significant,
+        intervals_disjoint=_disjoint(
+            (base.ci_low, base.ci_high), (curr.ci_low, curr.ci_high)
+        ),
+        bootstrap_disjoint=_disjoint(boot_base, boot_curr),
+    )
+
+
+# ---------------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegressionVerdict:
+    """Outcome of :func:`check_regression` for one metric of one cell."""
+
+    regressed: bool
+    reason: str
+    comparison: CellComparison
+    higher_is_better: bool = True
+    min_relative_change: float = 0.0
+    notes: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "regressed": self.regressed,
+            "reason": self.reason,
+            "higher_is_better": self.higher_is_better,
+            "min_relative_change": self.min_relative_change,
+            "comparison": self.comparison.as_dict(),
+        }
+
+
+def check_regression(
+    baseline: Sequence[float],
+    current: Sequence[float],
+    *,
+    higher_is_better: bool = True,
+    confidence: float = 0.95,
+    min_relative_change: float = 0.0,
+    bootstrap_resamples: int = 2000,
+) -> RegressionVerdict:
+    """Flag a regression only when the sample distributions truly separate.
+
+    ``current`` regresses against ``baseline`` iff ALL of:
+
+    1. the current mean moved in the *bad* direction (below for
+       higher-is-better metrics like ops/sec, above for lower-is-better
+       metrics like wire bytes/epoch);
+    2. the two confidence intervals are statistically separated — Welch's t
+       exceeds its critical value at ``confidence`` *or* the percentile
+       bootstrap CIs do not overlap (either test alone suffices: Welch
+       assumes rough normality, the bootstrap does not);
+    3. the relative change clears ``min_relative_change`` — the explicit
+       floor that absorbs host-class differences when baseline and current
+       ran on different machines.  Within that floor a shift may be
+       statistically real but is not actionable.
+
+    Replaces the old single-sample 20%-floor gates: one noisy sample can no
+    longer fail (or excuse) a run.
+    """
+    comparison = compare_cells(
+        baseline,
+        current,
+        confidence,
+        bootstrap_resamples=bootstrap_resamples,
+    )
+    worse = (
+        comparison.mean_diff < 0 if higher_is_better else comparison.mean_diff > 0
+    )
+    separated = (
+        comparison.welch_significant
+        or comparison.intervals_disjoint
+        or comparison.bootstrap_disjoint
+    )
+    beyond_floor = abs(comparison.relative_change) >= min_relative_change
+    direction = "drop" if higher_is_better else "growth"
+    change_pct = comparison.relative_change * 100.0
+    if not worse:
+        verdict, reason = False, (
+            f"no regression: mean moved the good way ({change_pct:+.1f}%)"
+        )
+    elif not separated:
+        verdict, reason = False, (
+            f"no regression: {change_pct:+.1f}% {direction} is within noise "
+            f"(|t|={abs(comparison.t_statistic):.2f} <= "
+            f"t_crit({comparison.welch_df:.1f} df), CIs overlap)"
+        )
+    elif not beyond_floor:
+        verdict, reason = False, (
+            f"no regression: {change_pct:+.1f}% {direction} is statistically "
+            f"real but under the {min_relative_change:.0%} actionability floor"
+        )
+    else:
+        verdict, reason = True, (
+            f"REGRESSION: {change_pct:+.1f}% {direction} "
+            f"(baseline {comparison.baseline.mean:,.1f} "
+            f"[{comparison.baseline.ci_low:,.1f}, {comparison.baseline.ci_high:,.1f}] "
+            f"vs current {comparison.current.mean:,.1f} "
+            f"[{comparison.current.ci_low:,.1f}, {comparison.current.ci_high:,.1f}]; "
+            f"|t|={abs(comparison.t_statistic):.2f} at {comparison.welch_df:.1f} df, "
+            f"d={comparison.cohen_d:.2f})"
+        )
+    return RegressionVerdict(
+        regressed=verdict,
+        reason=reason,
+        comparison=comparison,
+        higher_is_better=higher_is_better,
+        min_relative_change=min_relative_change,
+    )

@@ -1,0 +1,278 @@
+"""Tests for :mod:`repro.analysis.stats` — the statistics behind the CI gate.
+
+The property tests check the *statistical contract* against known
+distributions: a 95% t-interval built from N(μ, σ) samples must contain μ
+about 95% of the time across seeds, and must shrink as n grows.  The
+regression-gate unit tests pin the decision on crafted baseline/current
+sample sets: a clear regression fires, pure noise does not, borderline
+overlap does not, and deterministic metrics behave at both extremes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import stats
+
+
+# ---------------------------------------------------------------------------
+# Critical values
+# ---------------------------------------------------------------------------
+
+
+def test_t_critical_matches_table_rows():
+    assert stats.t_critical(10, 0.95) == pytest.approx(2.228, abs=1e-3)
+    assert stats.t_critical(2, 0.95) == pytest.approx(4.303, abs=1e-3)
+    assert stats.t_critical(1, 0.99) == pytest.approx(63.657, abs=1e-3)
+    assert stats.t_critical(30, 0.90) == pytest.approx(1.697, abs=1e-3)
+
+
+def test_t_critical_limits_to_normal_quantile():
+    assert stats.t_critical(1e9, 0.95) == pytest.approx(1.960, abs=2e-3)
+    assert stats.t_critical(1e9, 0.99) == pytest.approx(2.576, abs=2e-3)
+    assert stats.t_critical(1e9, 0.90) == pytest.approx(1.645, abs=2e-3)
+
+
+def test_t_critical_interpolates_fractional_df_monotonically():
+    # Welch–Satterthwaite produces fractional df; the interpolated value must
+    # sit between the neighbouring table rows and decrease with df.
+    previous = stats.t_critical(1, 0.95)
+    for df in [1.5, 2.0, 2.7, 3.14, 5.5, 9.9, 21.0, 35.0, 80.0, 500.0]:
+        value = stats.t_critical(df, 0.95)
+        assert value < previous
+        previous = value
+    assert stats.t_critical(2.5, 0.95) < stats.t_critical(2, 0.95)
+    assert stats.t_critical(2.5, 0.95) > stats.t_critical(3, 0.95)
+
+
+def test_t_critical_rejects_unsupported_inputs():
+    with pytest.raises(ValueError):
+        stats.t_critical(10, 0.80)
+    with pytest.raises(ValueError):
+        stats.t_critical(0, 0.95)
+
+
+# ---------------------------------------------------------------------------
+# Intervals: coverage and width against known distributions
+# ---------------------------------------------------------------------------
+
+
+def test_t_interval_coverage_on_normal_samples():
+    """CI from N(μ, σ) samples contains μ ~95% of the time across seeds."""
+    mu, sigma, n, trials = 100.0, 10.0, 8, 400
+    covered = 0
+    for seed in range(trials):
+        rng = random.Random(seed)
+        samples = [rng.gauss(mu, sigma) for _ in range(n)]
+        lo, hi = stats.t_interval(samples, 0.95)
+        covered += lo <= mu <= hi
+    coverage = covered / trials
+    # Binomial noise over 400 trials: ~95% ± a few points.
+    assert 0.90 <= coverage <= 0.99, f"coverage {coverage:.3f} not ~0.95"
+
+
+def test_t_interval_coverage_tracks_confidence_level():
+    mu, sigma, n, trials = 0.0, 1.0, 6, 400
+    covered_90 = covered_99 = 0
+    for seed in range(trials):
+        rng = random.Random(10_000 + seed)
+        samples = [rng.gauss(mu, sigma) for _ in range(n)]
+        lo, hi = stats.t_interval(samples, 0.90)
+        covered_90 += lo <= mu <= hi
+        lo, hi = stats.t_interval(samples, 0.99)
+        covered_99 += lo <= mu <= hi
+    assert covered_90 / trials < covered_99 / trials
+    assert 0.84 <= covered_90 / trials <= 0.96
+    assert covered_99 / trials >= 0.96
+
+
+def test_interval_width_shrinks_with_sample_count():
+    rng = random.Random(7)
+    population = [rng.gauss(50.0, 5.0) for _ in range(256)]
+    width_small = stats.summarize(population[:4]).ci_half_width
+    width_large = stats.summarize(population).ci_half_width
+    assert width_large < width_small
+
+
+def test_bootstrap_interval_coverage_on_normal_samples():
+    mu, sigma, n, trials = 20.0, 4.0, 10, 150
+    covered = 0
+    for seed in range(trials):
+        rng = random.Random(20_000 + seed)
+        samples = [rng.gauss(mu, sigma) for _ in range(n)]
+        lo, hi = stats.bootstrap_interval(samples, 0.95, resamples=400, seed=seed)
+        covered += lo <= mu <= hi
+    # The percentile bootstrap under-covers slightly at small n; accept a
+    # broad-but-meaningful band around the nominal level.
+    assert 0.80 <= covered / trials <= 1.0
+
+
+def test_bootstrap_interval_is_seed_deterministic():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    a = stats.bootstrap_interval(samples, seed=42)
+    b = stats.bootstrap_interval(samples, seed=42)
+    assert a == b  # same seed, same resampling plan, same interval
+
+
+def test_degenerate_intervals():
+    assert stats.t_interval([5.0]) == (5.0, 5.0)
+    assert stats.bootstrap_interval([5.0]) == (5.0, 5.0)
+    lo, hi = stats.t_interval([3.0, 3.0, 3.0])
+    assert lo == hi == 3.0
+    with pytest.raises(ValueError):
+        stats.t_interval([])
+
+
+def test_summarize_fields():
+    summary = stats.summarize([10.0, 12.0, 14.0])
+    assert summary.n == 3
+    assert summary.mean == pytest.approx(12.0)
+    assert summary.stddev == pytest.approx(2.0)
+    assert summary.minimum == 10.0 and summary.maximum == 14.0
+    assert summary.ci_low < 12.0 < summary.ci_high
+    assert summary.contains(12.0)
+    round_trip = summary.as_dict()
+    assert round_trip["n"] == 3 and round_trip["confidence"] == 0.95
+
+
+# ---------------------------------------------------------------------------
+# Welch's t and effect size
+# ---------------------------------------------------------------------------
+
+
+def test_welch_t_known_case():
+    # Hand-computed: a=[1,2,3] (mean 2, var 1), b=[2,4,6] (mean 4, var 4).
+    # se^2 = 1/3 + 4/3 = 5/3; t = -2 / sqrt(5/3) = -1.5492;
+    # df = (5/3)^2 / ((1/3)^2/2 + (4/3)^2/2) = 2.9412.
+    t, df = stats.welch_t([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+    assert t == pytest.approx(-1.5492, abs=1e-4)
+    assert df == pytest.approx(2.9412, abs=1e-4)
+
+
+def test_welch_t_zero_variance_cases():
+    assert stats.welch_t([2.0, 2.0], [2.0, 2.0]) == (0.0, 1.0)
+    t, _ = stats.welch_t([3.0, 3.0], [2.0, 2.0])
+    assert t == math.inf
+    t, _ = stats.welch_t([1.0, 1.0], [2.0, 2.0])
+    assert t == -math.inf
+
+
+def test_effect_size_direction_and_magnitude():
+    # Equal variances, means 1 apart, pooled sd 1 → d = ±1.
+    a = [9.0, 10.0, 11.0]
+    b = [10.0, 11.0, 12.0]
+    assert stats.effect_size(b, a) == pytest.approx(1.0)
+    assert stats.effect_size(a, b) == pytest.approx(-1.0)
+    assert stats.effect_size([5.0, 5.0], [5.0, 5.0]) == 0.0
+    assert stats.effect_size([6.0, 6.0], [5.0, 5.0]) == math.inf
+
+
+def test_compare_cells_reports_separation():
+    rng = random.Random(3)
+    baseline = [rng.gauss(100.0, 2.0) for _ in range(10)]
+    far = [rng.gauss(60.0, 2.0) for _ in range(10)]
+    near = [rng.gauss(100.0, 2.0) for _ in range(10)]
+    separated = stats.compare_cells(baseline, far)
+    assert separated.welch_significant
+    assert separated.intervals_disjoint
+    assert separated.bootstrap_disjoint
+    assert separated.relative_change == pytest.approx(-0.4, abs=0.05)
+    same = stats.compare_cells(baseline, near)
+    assert not same.intervals_disjoint
+
+
+# ---------------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------------
+
+
+def _gauss(seed: int, mu: float, sigma: float, n: int) -> list:
+    rng = random.Random(seed)
+    return [rng.gauss(mu, sigma) for _ in range(n)]
+
+
+def test_clear_regression_is_flagged():
+    """30% slower with modest noise: distributions separate, gate fires."""
+    baseline = _gauss(1, 1000.0, 30.0, 8)
+    current = _gauss(2, 700.0, 30.0, 8)
+    verdict = stats.check_regression(baseline, current, higher_is_better=True)
+    assert verdict.regressed
+    assert "REGRESSION" in verdict.reason
+
+
+def test_clear_noise_is_not_flagged():
+    """Same distribution, different seeds: never a regression."""
+    for seed in range(20):
+        baseline = _gauss(100 + seed, 1000.0, 50.0, 8)
+        current = _gauss(200 + seed, 1000.0, 50.0, 8)
+        verdict = stats.check_regression(baseline, current)
+        assert not verdict.regressed, f"seed {seed}: {verdict.reason}"
+
+
+def test_borderline_overlap_is_not_flagged():
+    """A small shift inside wide noise must not fire (the old gate's flaw)."""
+    baseline = _gauss(5, 1000.0, 150.0, 5)
+    current = [value * 0.95 for value in _gauss(6, 1000.0, 150.0, 5)]
+    verdict = stats.check_regression(baseline, current)
+    assert not verdict.regressed
+
+
+def test_single_bad_sample_cannot_fail_the_gate():
+    """One outlier widens the CI instead of tripping the gate — the precise
+    failure mode of the retired single-sample threshold."""
+    baseline = _gauss(7, 1000.0, 20.0, 8)
+    current = _gauss(8, 1000.0, 20.0, 7) + [550.0]
+    verdict = stats.check_regression(baseline, current)
+    assert not verdict.regressed
+
+
+def test_improvement_is_never_a_regression():
+    baseline = _gauss(9, 1000.0, 30.0, 8)
+    current = _gauss(10, 1400.0, 30.0, 8)
+    verdict = stats.check_regression(baseline, current)
+    assert not verdict.regressed
+    assert "good way" in verdict.reason
+
+
+def test_lower_is_better_direction():
+    baseline = _gauss(11, 100.0, 3.0, 8)
+    worse = _gauss(12, 140.0, 3.0, 8)
+    better = _gauss(13, 70.0, 3.0, 8)
+    assert stats.check_regression(
+        baseline, worse, higher_is_better=False
+    ).regressed
+    assert not stats.check_regression(
+        baseline, better, higher_is_better=False
+    ).regressed
+
+
+def test_deterministic_metric_extremes():
+    """Zero-variance metrics (wire bytes/epoch) gate cleanly at both ends."""
+    flat = [5800.0] * 3
+    assert not stats.check_regression(flat, [5800.0] * 3, higher_is_better=False).regressed
+    grown = [7600.0] * 3  # +31%
+    verdict = stats.check_regression(
+        flat, grown, higher_is_better=False, min_relative_change=0.05
+    )
+    assert verdict.regressed
+
+
+def test_actionability_floor_suppresses_tiny_real_shifts():
+    """Statistically real but sub-floor shifts (different host class) pass."""
+    baseline = _gauss(14, 1000.0, 1.0, 10)
+    current = [value * 0.97 for value in _gauss(15, 1000.0, 1.0, 10)]
+    firm = stats.check_regression(baseline, current, min_relative_change=0.15)
+    assert not firm.regressed
+    assert "floor" in firm.reason
+    strict = stats.check_regression(baseline, current, min_relative_change=0.0)
+    assert strict.regressed
+
+
+def test_verdict_round_trips_to_plain_data():
+    verdict = stats.check_regression(_gauss(16, 10.0, 1.0, 5), _gauss(17, 10.0, 1.0, 5))
+    record = verdict.as_dict()
+    assert set(record) >= {"regressed", "reason", "comparison"}
+    assert record["comparison"]["baseline"]["n"] == 5

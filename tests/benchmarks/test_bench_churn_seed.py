@@ -1,0 +1,37 @@
+"""The churn benchmark must guarantee its seed file, even on failure.
+
+CI uploads ``BENCH_churn_seed.txt`` from failed runs so the exact schedule
+can be replayed; the old race (seed file written only after a successful
+run) meant the one artifact a failure needs was the one a failure lost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import bench_churn
+
+
+def test_seed_file_written_before_the_benchmark_runs(tmp_path, monkeypatch):
+    def explode(seed, ops_per_feed):
+        raise RuntimeError("simulated benchmark failure")
+
+    monkeypatch.setattr(bench_churn, "run_benchmark", explode)
+    output = tmp_path / "BENCH_churn.json"
+    with pytest.raises(RuntimeError, match="simulated benchmark failure"):
+        bench_churn.main(["--smoke", "--output", str(output)])
+
+    seed_file = tmp_path / "BENCH_churn_seed.txt"
+    assert seed_file.exists(), "seed file must exist even when the run fails"
+    content = seed_file.read_text()
+    assert f"seed={bench_churn.DEFAULT_SEED}" in content
+    assert "repro:" in content and "--seed" in content
+    assert not output.exists(), "no results file for a failed run"
+
+
+def test_seed_file_records_custom_seed_and_ops(tmp_path):
+    seed_file = bench_churn.write_seed_file(tmp_path / "out.json", 1234, 56)
+    assert seed_file == tmp_path / "BENCH_churn_seed.txt"
+    content = seed_file.read_text()
+    assert "seed=1234" in content and "ops_per_feed=56" in content
+    assert "--seed 1234" in content and "--ops 56" in content
