@@ -285,6 +285,12 @@ class CellComparison:
     welch_significant: bool
     intervals_disjoint: bool
     bootstrap_disjoint: bool
+    #: Both sides have zero spread — an exact-valued (deterministic) metric
+    #: like wire bytes/epoch or gas/op, where every repetition reproduces the
+    #: same number.  The t machinery degenerates on such cells (any shift is
+    #: ``|t| = inf`` against point intervals), so :func:`check_regression`
+    #: judges them by the deterministic shift itself instead.
+    exact: bool = False
 
     def as_dict(self) -> dict:
         return {
@@ -298,6 +304,7 @@ class CellComparison:
             "welch_significant": self.welch_significant,
             "intervals_disjoint": self.intervals_disjoint,
             "bootstrap_disjoint": self.bootstrap_disjoint,
+            "exact": self.exact,
         }
 
 
@@ -327,6 +334,7 @@ def compare_cells(
     mean_diff = curr.mean - base.mean
     relative = mean_diff / base.mean if base.mean != 0 else 0.0
     return CellComparison(
+        exact=base.stddev == 0.0 and curr.stddev == 0.0,
         baseline=base,
         current=curr,
         mean_diff=mean_diff,
@@ -393,6 +401,14 @@ def check_regression(
        ran on different machines.  Within that floor a shift may be
        statistically real but is not actionable.
 
+    **Exact-valued metrics** (both sides zero-stddev — deterministic numbers
+    like wire bytes/epoch or ``gas_per_op``, where every repetition
+    reproduces the same value) are judged explicitly rather than through the
+    degenerate t machinery: there is no sampling noise to separate from, so
+    any shift *is* the signal, and the verdict reduces to direction plus the
+    actionability floor.  Their reasons report the deterministic before/after
+    values instead of a meaningless ``|t| = inf``.
+
     Replaces the old single-sample 20%-floor gates: one noisy sample can no
     longer fail (or excuse) a run.
     """
@@ -413,6 +429,37 @@ def check_regression(
     beyond_floor = abs(comparison.relative_change) >= min_relative_change
     direction = "drop" if higher_is_better else "growth"
     change_pct = comparison.relative_change * 100.0
+    if comparison.exact:
+        base_mean = comparison.baseline.mean
+        curr_mean = comparison.current.mean
+        if base_mean == curr_mean:
+            verdict, reason = False, (
+                f"no regression: exact-valued metric unchanged at {curr_mean:,g}"
+            )
+        elif not worse:
+            verdict, reason = False, (
+                f"no regression: exact-valued metric moved the good way, "
+                f"{base_mean:,g} -> {curr_mean:,g} ({change_pct:+.1f}%)"
+            )
+        elif not beyond_floor:
+            verdict, reason = False, (
+                f"no regression: exact-valued metric shifted "
+                f"{base_mean:,g} -> {curr_mean:,g} ({change_pct:+.1f}%), under "
+                f"the {min_relative_change:.0%} actionability floor"
+            )
+        else:
+            verdict, reason = True, (
+                f"REGRESSION: exact-valued metric shifted deterministically, "
+                f"{base_mean:,g} -> {curr_mean:,g} ({change_pct:+.1f}% {direction}; "
+                f"zero spread on both sides, so the shift is the signal)"
+            )
+        return RegressionVerdict(
+            regressed=verdict,
+            reason=reason,
+            comparison=comparison,
+            higher_is_better=higher_is_better,
+            min_relative_change=min_relative_change,
+        )
     if not worse:
         verdict, reason = False, (
             f"no regression: mean moved the good way ({change_pct:+.1f}%)"

@@ -1,0 +1,59 @@
+"""Live asyncio front door for the fleet gateway.
+
+Requests arrive on an event loop, flow through a composable middleware stack
+(auth, security headers, per-tenant rate limiting backed by the ``FeedSpec``
+quota machinery, request metrics), and are drained into the epoch engine at
+boundaries; each request's future resolves when its epoch settles, carrying
+the verified outcome and its share of the epoch's gas bill.  See
+:mod:`repro.frontdoor.door` for the threading/determinism contract.
+"""
+
+from repro.frontdoor.door import (
+    FrontDoor,
+    FrontDoorTelemetry,
+    TenantRequestStats,
+    latency_percentile,
+    latency_percentiles,
+)
+from repro.frontdoor.middleware import (
+    AuthTokenMiddleware,
+    Handler,
+    Middleware,
+    RateLimitMiddleware,
+    REJECT_DOOR_CLOSED,
+    REJECT_RATE_LIMITED,
+    REJECT_UNAUTHORIZED,
+    REJECT_UNKNOWN_TENANT,
+    Request,
+    RequestMetricsMiddleware,
+    Response,
+    SecurityHeadersMiddleware,
+    STATUS_CANCELLED,
+    STATUS_REJECTED,
+    STATUS_SETTLED,
+    build_stack,
+)
+
+__all__ = [
+    "FrontDoor",
+    "FrontDoorTelemetry",
+    "TenantRequestStats",
+    "latency_percentile",
+    "latency_percentiles",
+    "Request",
+    "Response",
+    "Middleware",
+    "Handler",
+    "build_stack",
+    "AuthTokenMiddleware",
+    "SecurityHeadersMiddleware",
+    "RateLimitMiddleware",
+    "RequestMetricsMiddleware",
+    "STATUS_SETTLED",
+    "STATUS_REJECTED",
+    "STATUS_CANCELLED",
+    "REJECT_UNAUTHORIZED",
+    "REJECT_RATE_LIMITED",
+    "REJECT_UNKNOWN_TENANT",
+    "REJECT_DOOR_CLOSED",
+]

@@ -168,14 +168,22 @@ class ReadCache:
         shard back — ``entries`` in LRU order (oldest first) plus its
         counters — so the main cache ends up exactly as a serial run would
         have left it.
+
+        A replaced shard's counters retire into the cache-wide aggregate
+        first: the installed counters cover only what the *worker* observed,
+        so anything the main-side shard counted before the install (a fresh
+        run's pre-created shard counts nothing; a reused cache's shard may)
+        would otherwise vanish from :attr:`stats`.  Worker counters are never
+        folded into the replaced shard, so nothing is double-counted either.
         """
+        replaced = self._shards.get(feed_id)
+        if replaced is not None:
+            self._retire(replaced)
         shard = _FeedShard()
         for key, value in entries:
             shard.entries[key] = value
         if stats is not None:
             shard.stats = stats
-        # Overwrite without retiring: the installed counters already cover
-        # everything the replaced (main-side, idle) shard would contribute.
         self._shards[feed_id] = shard
 
     def invalidate_feed(self, feed_id: str) -> int:

@@ -76,7 +76,7 @@ import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.chain.chain import ChainParameters, ExecutionBuffer, buffer_from_wire
 from repro.chain.gas import (
@@ -737,6 +737,42 @@ def decode_lane_seed(
     return shards
 
 
+def encode_lane_arrivals(
+    encoder: WireEncoder, arrivals: Sequence[Tuple[str, Sequence[Operation]]]
+) -> WireFrame:
+    """Pack one epoch boundary's live arrivals for one lane: per feed (in
+    the caller's sorted order), the operations joining the tail of that
+    feed's worker-local queue.
+
+    Arrivals frames use a fresh channel per boundary, like the seed frame:
+    they flow main → worker, opposite the lane's persistent epoch-result
+    channel, and a boundary's batch is small enough that cross-boundary
+    interning would buy nothing.
+    """
+    w = encoder.writer()
+    w.uvarint(len(arrivals))
+    for feed_id, operations in arrivals:
+        w.string(feed_id)
+        w.uvarint(len(operations))
+        for operation in operations:
+            _encode_operation(w, operation)
+    return w.frame()
+
+
+def decode_lane_arrivals(
+    decoder: WireDecoder, frame: WireFrame
+) -> List[Tuple[str, List[Operation]]]:
+    """Decode :func:`encode_lane_arrivals`: ``(feed_id, operations)`` pairs
+    in encoded (sorted-by-feed) order."""
+    r = decoder.reader(frame)
+    arrivals: List[Tuple[str, List[Operation]]] = []
+    for _ in range(r.uvarint()):
+        feed_id = r.string()
+        operations = [_decode_operation(r) for _ in range(r.uvarint())]
+        arrivals.append((feed_id, operations))
+    return arrivals
+
+
 def encode_lane_epoch(
     encoder: WireEncoder, epoch: int, results: Sequence[ShardEpochResult]
 ) -> WireFrame:
@@ -982,6 +1018,24 @@ class _LaneWorker:
                 )
 
     # -- one epoch -----------------------------------------------------------
+
+    def ingest(self, frame: WireFrame) -> None:
+        """Append one epoch boundary's live arrivals to this lane's queues.
+
+        Called (via :func:`_lane_live_epoch`) immediately before the epoch
+        the arrivals join: the scheduler ships each boundary's arrivals with
+        the epoch order itself, so by drive time the worker-local queues
+        hold exactly what the serial path's ``_ingest`` would have appended
+        at the same boundary.
+        """
+        for feed_id, operations in decode_lane_arrivals(WireDecoder(), frame):
+            queue = self.env.queues.get(feed_id)
+            if queue is None:
+                raise WireError(
+                    f"arrivals frame names feed {feed_id!r}, which this lane "
+                    "does not host — the engine's feed→lane split is broken"
+                )
+            queue.extend(operations)
 
     def run_epoch(self, epoch: int, epoch_size: int) -> LaneEpochEnvelope:
         env = self.env
@@ -1261,6 +1315,19 @@ def _lane_epochs(start: int, count: int, epoch_size: int) -> List[LaneEpochEnvel
     return [run_epoch(epoch, epoch_size) for epoch in range(start, start + count)]
 
 
+def _lane_live_epoch(
+    epoch: int, epoch_size: int, arrivals_frame: Optional[WireFrame]
+) -> List[LaneEpochEnvelope]:
+    """Run one live epoch: ingest the boundary's arrivals (when any reached
+    this lane), then drive the epoch.  Live runs are lockstep — the
+    scheduler cannot submit ahead of arrivals it has not yet seen — so each
+    order carries exactly one epoch."""
+    assert _LANE_WORKER is not None, "lane worker not started"
+    if arrivals_frame is not None:
+        _LANE_WORKER.ingest(arrivals_frame)
+    return [_LANE_WORKER.run_epoch(epoch, epoch_size)]
+
+
 def _lane_collect() -> List[FeedStateResult]:
     assert _LANE_WORKER is not None, "lane worker not started"
     return _LANE_WORKER.collect()
@@ -1334,6 +1401,7 @@ class ProcessEngine:
         self._pools: List[ProcessPoolExecutor] = []
         self._lane_shards: Dict[int, List[int]] = {}
         self._lane_ids: List[int] = []
+        self._feed_lane: Dict[str, int] = {}
         self._pending: List[Deque[_PendingBatch]] = []
         self._decoders: List[WireDecoder] = []
 
@@ -1370,6 +1438,12 @@ class ProcessEngine:
             lane: sorted(shards) for lane, shards in lane_shards.items() if shards
         }
         self._lane_ids = sorted(self._lane_shards)
+        self._feed_lane = {
+            feed_id: lane
+            for lane, shards in lane_shards.items()
+            for feeds in shards.values()
+            for feed_id in feeds
+        }
         configs: Dict[int, Union[LaneConfig, ForkLaneConfig]] = {}
         if self.seed_mode == "inherit":
             for lane in self._lane_ids:
@@ -1460,6 +1534,46 @@ class ProcessEngine:
             pending.append(
                 _PendingBatch(
                     pool.submit(_lane_epochs, start, count, epoch_size), start, count
+                )
+            )
+
+    def submit_live_epoch(
+        self,
+        epoch: int,
+        epoch_size: int,
+        arrivals: Mapping[str, Sequence[Operation]],
+    ) -> None:
+        """Queue one live epoch on every lane, shipping each lane the slice
+        of this boundary's arrivals destined for feeds it hosts (returns
+        immediately; :meth:`results` for the epoch blocks as usual).
+
+        Live epochs are lockstep — submitted one at a time, because an
+        epoch's arrivals cannot exist before the previous epoch settled and
+        its futures resolved — so every order is a one-epoch batch.  Lanes
+        without arrivals still receive the order: every lane runs every
+        epoch, exactly as in the batch path.
+        """
+        per_lane: Dict[int, List[Tuple[str, Sequence[Operation]]]] = {
+            lane: [] for lane in self._lane_ids
+        }
+        for feed_id in sorted(arrivals):
+            operations = arrivals[feed_id]
+            if not operations:
+                continue
+            lane = self._feed_lane.get(feed_id)
+            if lane is None:
+                raise ConfigurationError(
+                    f"live arrivals for feed {feed_id!r}, which no lane hosts"
+                )
+            per_lane[lane].append((feed_id, operations))
+        for lane, pending, pool in zip(self._lane_ids, self._pending, self._pools):
+            items = per_lane[lane]
+            frame = encode_lane_arrivals(WireEncoder(), items) if items else None
+            pending.append(
+                _PendingBatch(
+                    pool.submit(_lane_live_epoch, epoch, epoch_size, frame),
+                    epoch,
+                    1,
                 )
             )
 

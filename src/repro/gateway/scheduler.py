@@ -136,6 +136,62 @@ from repro.obs.tracing import reassemble_shard_spans
 from repro.storage.lsm import LSMStore
 
 
+class RequestSource:
+    """Protocol of the live ingestion seam (duck-typed; this base class only
+    documents it — the canonical implementation is the front door in
+    :mod:`repro.frontdoor`).
+
+    The scheduler calls, always from its own run thread:
+
+    * ``poll(epoch, wait=...)`` at every epoch boundary — return the eligible
+      arrivals as ``{feed_id: [Operation, ...]}``.  With ``wait=True`` the
+      gateway is idle: block until arrivals become eligible, a future epoch
+      is scheduled, or the door closes (then return what there is, possibly
+      nothing).
+    * ``exhausted`` — ``True`` once the door is closed *and* every accepted
+      request has been handed over; the run may then terminate.
+    * ``next_epoch(after)`` — the earliest epoch > ``after`` with a scheduled
+      arrival, or ``None``; lets an idle run fast-forward instead of spinning.
+    * ``settled(epoch, feed_id, executed=…, deferred=…, gas=…)`` — after a
+      feed's epoch settles: ``executed`` head-of-queue operations completed
+      (resolve that many futures, FIFO), ``deferred`` were pushed to a later
+      epoch by quotas, ``gas`` is the feed's settled epoch gas (feed +
+      application layers) to attribute across the executed requests.
+    * ``evicted(epoch, feed_id)`` — the churn boundary just evicted a tenant
+      (its queued operations were dropped and counted as cancelled).  Cancel
+      that tenant's outstanding requests *immediately* and reject later ones
+      at admission — a client awaiting them would otherwise hold the door
+      open for responses that can never settle.  Optional; defaults to a
+      no-op for sources that never see churn.
+    * ``run_finished(fleet)`` — the run is over (normally or not); fail any
+      still-pending futures instead of leaving clients hanging.
+
+    Everything is driven by epoch indices and queue positions — never a wall
+    clock — so a scripted request sequence reproduces bit-identically.
+    """
+
+    def poll(self, epoch: int, *, wait: bool) -> Mapping[str, Sequence[Operation]]:
+        raise NotImplementedError
+
+    @property
+    def exhausted(self) -> bool:
+        raise NotImplementedError
+
+    def next_epoch(self, after: int) -> Optional[int]:
+        raise NotImplementedError
+
+    def settled(
+        self, epoch: int, feed_id: str, *, executed: int, deferred: int, gas: int
+    ) -> None:
+        raise NotImplementedError
+
+    def evicted(self, epoch: int, feed_id: str) -> None:
+        """Optional hook; sources that never face churn can ignore it."""
+
+    def run_finished(self, fleet: FleetTelemetry) -> None:
+        raise NotImplementedError
+
+
 @dataclass(frozen=True)
 class Admission:
     """One queued tenant arrival, applied at the first boundary ≥ ``at_epoch``."""
@@ -343,6 +399,7 @@ class EpochScheduler:
         active: List[str],
         queues: Dict[str, Deque[Operation]],
         fleet: FleetTelemetry,
+        source: Optional["RequestSource"] = None,
     ) -> None:
         """Apply every due arrival, then every due departure, in queue order.
 
@@ -415,6 +472,10 @@ class EpochScheduler:
             # Deregisters the watchdog route, frees the on-chain addresses and
             # fires the removal listeners (cache shard teardown among them).
             self.registry.remove_feed(feed_id)
+            if source is not None:
+                # A live source must cancel the tenant's outstanding requests
+                # now — their operations just left the queue for good.
+                source.evicted(epoch, feed_id)
 
     # -- observability plumbing -----------------------------------------------
 
@@ -490,7 +551,10 @@ class EpochScheduler:
     # -- the fleet run --------------------------------------------------------
 
     def run(
-        self, workloads: Optional[Mapping[str, Sequence[Operation]]] = None
+        self,
+        workloads: Optional[Mapping[str, Sequence[Operation]]] = None,
+        *,
+        source: Optional["RequestSource"] = None,
     ) -> FleetTelemetry:
         """Drive the fleet through the gateway, epoch by epoch, until every
         workload (initial and admitted) is executed or cancelled and no churn
@@ -502,10 +566,26 @@ class EpochScheduler:
         ``epoch_size`` operations from the head of every active feed's queue
         (fewer under quota); feeds whose queue is exhausted simply stop
         contributing operations (their empty epochs send no transactions).
+
+        ``source`` is the **live ingestion seam**: an object implementing the
+        :class:`RequestSource` protocol (the front door in
+        :mod:`repro.frontdoor` is the canonical one).  When given, every epoch
+        boundary drains the source's eligible arrivals into the per-feed
+        queues *before* the epoch runs, and after the epoch settles the source
+        is told, per feed, how many head-of-queue operations executed and what
+        the epoch's gas bill was — which is exactly what it needs to resolve
+        request futures in FIFO order with per-request gas attribution.  An
+        idle gateway with the door still open blocks on ``poll(wait=True)``
+        instead of terminating, so live traffic can arrive at any boundary;
+        the run ends once the source is exhausted, every queue is drained and
+        no churn remains.  The seam replaces nothing: a source-less ``run``
+        is the unchanged deterministic batch path.
         """
         if self.execution_mode == "process":
-            return self._run_process(workloads)
-        queues, epoch_size, active, fleet = self._prepare_run(workloads)
+            return self._run_process(workloads, source=source)
+        queues, epoch_size, active, fleet = self._prepare_run(
+            workloads, source=source
+        )
 
         # Pre-create every per-feed structure a worker will touch, so the
         # parallel phases never mutate a shared directory — workers only
@@ -538,18 +618,40 @@ class EpochScheduler:
         try:
             with self.obs.span("run", mode=self.execution_mode):
                 while True:
-                    self._apply_churn(epoch, active, queues, fleet)
+                    self._apply_churn(epoch, active, queues, fleet, source)
+                    if source is not None:
+                        # Drain eligible live arrivals into the queues.  An
+                        # idle gateway (no queued work, no pending churn)
+                        # blocks here until traffic arrives, a future epoch
+                        # is scheduled, or the door closes — a live server
+                        # waits for requests, it does not exit.
+                        idle = not self.pending_churn and not any(
+                            queues[f] for f in active
+                        )
+                        self._ingest(
+                            source.poll(epoch, wait=idle), queues
+                        )
                     has_work = any(queues[f] for f in active)
-                    if not self.pending_churn and not has_work:
+                    door_open = source is not None and not source.exhausted
+                    if not self.pending_churn and not has_work and not door_open:
                         break
                     if not has_work:
                         # Every queue is idle; the run is only waiting out the
-                        # epochs until the next churn event.  Jump straight to
-                        # the earliest one (O(1) per wait, however far off) —
-                        # no summaries, no polling, no blocks, no roster
-                        # entries for the skipped span, whose membership
-                        # cannot change.
-                        epoch = max(epoch + 1, self._next_churn_epoch())
+                        # epochs until the next churn event or the earliest
+                        # scheduled live arrival.  Jump straight there (O(1)
+                        # per wait, however far off) — no summaries, no
+                        # polling, no blocks, no roster entries for the
+                        # skipped span, whose membership cannot change.
+                        targets = []
+                        if self.pending_churn:
+                            targets.append(self._next_churn_epoch())
+                        if door_open:
+                            scheduled = source.next_epoch(epoch)
+                            if scheduled is not None:
+                                targets.append(scheduled)
+                        epoch = (
+                            max(epoch + 1, min(targets)) if targets else epoch + 1
+                        )
                         continue
                     shard_plan = self.planner.plan(
                         active,
@@ -559,7 +661,8 @@ class EpochScheduler:
                     fleet.shards_per_epoch.append(len(shard_plan))
                     with self.obs.span("epoch", epoch=epoch):
                         self._run_epoch(
-                            epoch, epoch_size, active, queues, shard_plan, fleet
+                            epoch, epoch_size, active, queues, shard_plan, fleet,
+                            source=source,
                         )
                     epoch += 1
         finally:
@@ -567,6 +670,8 @@ class EpochScheduler:
             self._env = None
             if pool is not None:
                 pool.shutdown(wait=True)
+            if source is not None:
+                source.run_finished(fleet)
 
         fleet.wall_seconds = time.perf_counter() - wall_start
         fleet.epochs_run = epoch
@@ -575,15 +680,26 @@ class EpochScheduler:
         return fleet
 
     def _prepare_run(
-        self, workloads: Optional[Mapping[str, Sequence[Operation]]]
+        self,
+        workloads: Optional[Mapping[str, Sequence[Operation]]],
+        source: Optional["RequestSource"] = None,
     ) -> Tuple[Dict[str, Deque[Operation]], int, List[str], FleetTelemetry]:
         """Shared run prologue for every backend: validate the workload map
         against the registry and build the initial run state.  Validation
-        added here applies to serial, thread *and* process runs."""
+        added here applies to serial, thread *and* process runs.
+
+        With a live ``source``, *every* registered feed is active from epoch 0
+        (each may receive requests at any boundary), with an empty queue
+        unless ``workloads`` pre-seeds it; the equivalent batch run passes a
+        workloads map with one (possibly empty) entry per feed.
+        """
         workloads = dict(workloads) if workloads else {}
-        feed_ids = [
-            feed_id for feed_id in self.registry.feed_ids if feed_id in workloads
-        ]
+        if source is not None:
+            feed_ids = list(self.registry.feed_ids)
+        else:
+            feed_ids = [
+                feed_id for feed_id in self.registry.feed_ids if feed_id in workloads
+            ]
         missing = set(workloads) - set(feed_ids)
         if missing:
             raise ConfigurationError(
@@ -592,7 +708,7 @@ class EpochScheduler:
         for feed_id in feed_ids:
             self._require_batch_deliver(self.registry.get(feed_id).spec)
         queues: Dict[str, Deque[Operation]] = {
-            feed_id: deque(workloads[feed_id]) for feed_id in feed_ids
+            feed_id: deque(workloads.get(feed_id, ())) for feed_id in feed_ids
         }
         epoch_size = self.epoch_size_for(feed_ids)
         active = list(feed_ids)
@@ -600,6 +716,32 @@ class EpochScheduler:
             feeds={feed_id: FeedTelemetry(feed_id=feed_id) for feed_id in active}
         )
         return queues, epoch_size, active, fleet
+
+    def _ingest(
+        self,
+        arrivals: Mapping[str, Sequence[Operation]],
+        queues: Dict[str, Deque[Operation]],
+    ) -> None:
+        """Append one boundary's live arrivals to the per-feed queues.
+
+        Arrivals join at the *tail*, behind anything still queued (deferred or
+        not-yet-scheduled operations), preserving each feed's FIFO order —
+        the order the front door resolves request futures in.  A request for
+        a feed the gateway does not currently host is a front-door bug (its
+        middleware rejects unknown tenants), so it fails the run loudly.
+        """
+        for feed_id in sorted(arrivals):
+            operations = arrivals[feed_id]
+            if not operations:
+                continue
+            queue = queues.get(feed_id)
+            if queue is None:
+                raise ConfigurationError(
+                    f"live request for feed {feed_id!r}, which the gateway "
+                    "does not currently host — the request source must "
+                    "reject unknown or departed tenants at admission"
+                )
+            queue.extend(operations)
 
     # -- one lockstep epoch ---------------------------------------------------
 
@@ -611,6 +753,7 @@ class EpochScheduler:
         queues: Dict[str, Deque[Operation]],
         shard_plan: List[List[str]],
         fleet: FleetTelemetry,
+        source: Optional["RequestSource"] = None,
     ) -> None:
         ledger = self.registry.chain.ledger
         gas_before = {
@@ -620,6 +763,14 @@ class EpochScheduler:
             )
             for feed_id in active
         }
+        # Queue depths at the boundary: with a live source, the settled
+        # callback derives each feed's planned slice (head-of-queue, capped
+        # by the lockstep epoch size) from these.
+        queued_before = (
+            {feed_id: len(queues[feed_id]) for feed_id in active}
+            if source is not None
+            else None
+        )
 
         # Phase 1 — every shard drives its feeds' slice of the epoch
         # concurrently (reads execute against per-feed contract state or hit
@@ -703,6 +854,16 @@ class EpochScheduler:
                     gas_before=gas_before[feed_id],
                 )
                 self.planner.observe(feed_id, epoch_gas)
+                if source is not None:
+                    executed = summaries[feed_id].operations
+                    planned = min(queued_before[feed_id], epoch_size)
+                    source.settled(
+                        epoch,
+                        feed_id,
+                        executed=executed,
+                        deferred=planned - executed,
+                        gas=epoch_gas,
+                    )
 
     # -- per-shard work (runs on worker threads) ------------------------------
     #
@@ -741,7 +902,9 @@ class EpochScheduler:
     # -- the process backend --------------------------------------------------
 
     def _run_process(
-        self, workloads: Optional[Mapping[str, Sequence[Operation]]]
+        self,
+        workloads: Optional[Mapping[str, Sequence[Operation]]],
+        source: Optional["RequestSource"] = None,
     ) -> FleetTelemetry:
         """Drive the fleet on the multicore process backend.
 
@@ -758,6 +921,13 @@ class EpochScheduler:
         processes), a stable shard plan (the round-robin planner; a gas-aware
         plan re-shards between epochs), and memory-backed SP stores (two
         processes must never open one LSM directory).
+
+        With a live ``source`` the run is **lockstep** instead of pipelined:
+        an epoch's arrivals must reach each lane's worker-local queues before
+        that lane drives the epoch, so the scheduler ships one epoch order at
+        a time with the boundary's arrivals wire-packed alongside it
+        (:meth:`ProcessEngine.submit_live_epoch`).  Determinism over
+        pipelining — the batch path keeps its submit-ahead throughput.
         """
         if self.pending_churn:
             raise ConfigurationError(
@@ -772,7 +942,9 @@ class EpochScheduler:
                 "re-shard between epochs, which would move feeds between "
                 "worker processes mid-run"
             )
-        queues, epoch_size, active, fleet = self._prepare_run(workloads)
+        queues, epoch_size, active, fleet = self._prepare_run(
+            workloads, source=source
+        )
         for feed_id in active:
             if self.registry.get(feed_id).spec.store_backend != "memory":
                 raise ConfigurationError(
@@ -791,6 +963,18 @@ class EpochScheduler:
             active, block_gas_limit=chain.parameters.block_gas_limit
         )
         engine = ProcessEngine(self.num_workers, ipc_profile=self.ipc_profile)
+        if source is not None:
+            return self._run_process_live(
+                engine,
+                source,
+                queues,
+                epoch_size,
+                active,
+                fleet,
+                shard_plan,
+                blocks_before,
+                wall_start,
+            )
         remaining = {feed_id: len(queues[feed_id]) for feed_id in active}
 
         def guaranteed_epochs() -> int:
@@ -829,30 +1013,7 @@ class EpochScheduler:
                         submitted = target
                     fleet.rosters.append((merged, sorted(active)))
                     fleet.shards_per_epoch.append(len(shard_plan))
-                    with self.obs.span("epoch", epoch=merged) as epoch_span:
-                        results, samples = engine.results(merged)
-                        # The lanes' per-shard phase spans graft under this
-                        # epoch in fixed shard order, before the merge span,
-                        # so the tree reads in canonical phase order.
-                        self._graft_lane_spans(epoch_span, results, engine)
-                        # Deterministic merge, mirroring the serial phase
-                        # order: every shard's drive buffer (events stamped at
-                        # this epoch's starting height), then one recorded
-                        # block per shard deliver, then one per shard update —
-                        # all in fixed shard order.
-                        with self.obs.phase("merge", epoch=merged):
-                            height = chain.height
-                            for result in results:
-                                chain.absorb_wire(result.drive, height)
-                            for result in results:
-                                if result.deliver is not None:
-                                    self._record_settlement(result.deliver, fleet)
-                            for result in results:
-                                if result.update is not None:
-                                    self._record_settlement(result.update, fleet)
-                    self._observe_ipc(samples)
-                    for result in results:
-                        remaining.update(result.remaining)
+                    self._merge_lane_epoch(engine, merged, fleet, remaining)
                     merged += 1
                     target = merged + guaranteed_epochs()
             # Run over: pull every worker's final feed state back into the
@@ -870,6 +1031,164 @@ class EpochScheduler:
         fleet.ipc = engine.meter.summary()
         self.epochs_run += merged
         return fleet
+
+    def _merge_lane_epoch(
+        self,
+        engine: ProcessEngine,
+        epoch: int,
+        fleet: FleetTelemetry,
+        remaining: Dict[str, int],
+    ) -> None:
+        """Merge one submitted epoch's lane results into the main chain.
+
+        Deterministic merge, mirroring the serial phase order: every shard's
+        drive buffer (events stamped at this epoch's starting height), then
+        one recorded block per shard deliver, then one per shard update — all
+        in fixed shard order.  The lanes' per-shard phase spans graft under
+        this epoch in fixed shard order, before the merge span, so the trace
+        tree reads in canonical phase order.  ``remaining`` is updated with
+        the lanes' post-epoch queue depths (run termination, and the live
+        path's executed-count attribution).
+        """
+        chain = self.registry.chain
+        with self.obs.span("epoch", epoch=epoch) as epoch_span:
+            results, samples = engine.results(epoch)
+            self._graft_lane_spans(epoch_span, results, engine)
+            with self.obs.phase("merge", epoch=epoch):
+                height = chain.height
+                for result in results:
+                    chain.absorb_wire(result.drive, height)
+                for result in results:
+                    if result.deliver is not None:
+                        self._record_settlement(result.deliver, fleet)
+                for result in results:
+                    if result.update is not None:
+                        self._record_settlement(result.update, fleet)
+        self._observe_ipc(samples)
+        for result in results:
+            remaining.update(result.remaining)
+
+    def _run_process_live(
+        self,
+        engine: ProcessEngine,
+        source: "RequestSource",
+        queues: Dict[str, Deque[Operation]],
+        epoch_size: int,
+        active: List[str],
+        fleet: FleetTelemetry,
+        shard_plan: List[List[str]],
+        blocks_before: int,
+        wall_start: float,
+    ) -> FleetTelemetry:
+        """The live (lockstep) half of the process backend.
+
+        Mirrors the serial live loop epoch for epoch: poll the source at each
+        boundary (blocking when the fleet is idle but the door is open), ship
+        the boundary's arrivals to the lanes with the epoch order itself,
+        merge the epoch exactly as the batch path does, then fire the per-feed
+        ``settled`` callbacks.  Executed counts come from the lanes' reported
+        queue-depth deltas and gas attribution from the main ledger's
+        per-feed scope totals around the merge — both bit-identical to what
+        the serial path's ``settle_feed_epoch`` observes, because the merge
+        replays the lanes' exact gas deltas in the same order.
+        """
+        chain = self.registry.chain
+        ledger = chain.ledger
+        remaining = {feed_id: len(queues[feed_id]) for feed_id in active}
+        epoch = 0
+        try:
+            engine.start(
+                self.registry,
+                shard_plan,
+                queues,
+                cache_enabled=self.cache is not None,
+                cache_capacity=self.cache.capacity if self.cache is not None else None,
+                obs_enabled=self.obs.enabled,
+            )
+            with self.obs.span("run", mode="process"):
+                while True:
+                    idle = not any(remaining.values())
+                    arrivals = self._absorb_arrivals(
+                        source.poll(epoch, wait=idle), remaining
+                    )
+                    has_work = any(remaining.values())
+                    if not has_work:
+                        if source.exhausted:
+                            break
+                        # Idle but open: jump to the earliest scheduled
+                        # arrival (the serial loop's fast-forward).
+                        scheduled = source.next_epoch(epoch)
+                        epoch = (
+                            max(epoch + 1, scheduled)
+                            if scheduled is not None
+                            else epoch + 1
+                        )
+                        continue
+                    queued_before = dict(remaining)
+                    gas_before = {
+                        feed_id: (
+                            ledger.scope_total(feed_id, LAYER_FEED)
+                            + ledger.scope_total(feed_id, LAYER_APPLICATION)
+                        )
+                        for feed_id in active
+                    }
+                    fleet.rosters.append((epoch, sorted(active)))
+                    fleet.shards_per_epoch.append(len(shard_plan))
+                    engine.submit_live_epoch(epoch, epoch_size, arrivals)
+                    self._merge_lane_epoch(engine, epoch, fleet, remaining)
+                    for feed_id in active:
+                        executed = queued_before[feed_id] - remaining[feed_id]
+                        planned = min(queued_before[feed_id], epoch_size)
+                        gas = (
+                            ledger.scope_total(feed_id, LAYER_FEED)
+                            + ledger.scope_total(feed_id, LAYER_APPLICATION)
+                            - gas_before[feed_id]
+                        )
+                        source.settled(
+                            epoch,
+                            feed_id,
+                            executed=executed,
+                            deferred=planned - executed,
+                            gas=gas,
+                        )
+                    epoch += 1
+            for state in engine.collect():
+                apply_feed_state(self.registry, self.cache, state)
+                fleet.feeds[state.feed_id] = state.telemetry
+        finally:
+            engine.shutdown()
+            source.run_finished(fleet)
+
+        fleet.wall_seconds = time.perf_counter() - wall_start
+        fleet.epochs_run = epoch
+        fleet.blocks_mined = chain.height - blocks_before
+        fleet.ipc = engine.meter.summary()
+        self.epochs_run += epoch
+        return fleet
+
+    def _absorb_arrivals(
+        self,
+        arrivals: Mapping[str, Sequence[Operation]],
+        remaining: Dict[str, int],
+    ) -> Dict[str, Sequence[Operation]]:
+        """Validate one boundary's live arrivals against the hosted fleet and
+        fold their counts into the main-side queue-depth mirror, returning
+        the normalized map to ship to the lanes (the process-mode counterpart
+        of :meth:`_ingest` — the operations themselves live in the lanes)."""
+        shipped: Dict[str, Sequence[Operation]] = {}
+        for feed_id in sorted(arrivals):
+            operations = arrivals[feed_id]
+            if not operations:
+                continue
+            if feed_id not in remaining:
+                raise ConfigurationError(
+                    f"live request for feed {feed_id!r}, which the gateway "
+                    "does not currently host — the request source must "
+                    "reject unknown or departed tenants at admission"
+                )
+            remaining[feed_id] += len(operations)
+            shipped[feed_id] = operations
+        return shipped
 
     #: Byte-count histograms need byte-scaled buckets — the default log
     #: buckets are seconds-oriented (10µs–40s).  64 B–128 MB, doubling.

@@ -276,3 +276,44 @@ def test_verdict_round_trips_to_plain_data():
     record = verdict.as_dict()
     assert set(record) >= {"regressed", "reason", "comparison"}
     assert record["comparison"]["baseline"]["n"] == 5
+
+
+def test_exact_cells_report_values_never_infinite_t():
+    """Crafted degenerate-variance cells: every exact verdict reason quotes
+    the deterministic before/after values, never a meaningless |t| = inf."""
+    flat = [4096.0] * 5
+
+    unchanged = stats.check_regression(flat, list(flat), higher_is_better=False)
+    assert not unchanged.regressed
+    assert unchanged.comparison.exact
+    assert "exact-valued metric unchanged" in unchanged.reason
+
+    improved = stats.check_regression(flat, [3800.0] * 5, higher_is_better=False)
+    assert not improved.regressed
+    assert "good way" in improved.reason
+
+    under_floor = stats.check_regression(
+        flat, [4177.0] * 5, higher_is_better=False, min_relative_change=0.05
+    )
+    assert not under_floor.regressed  # +1.98%, floor is 5%
+    assert "floor" in under_floor.reason
+
+    regressed = stats.check_regression(
+        flat, [5120.0] * 5, higher_is_better=False, min_relative_change=0.05
+    )
+    assert regressed.regressed  # +25% with zero spread on both sides
+    assert "shifted deterministically" in regressed.reason
+
+    for verdict in (unchanged, improved, under_floor, regressed):
+        assert "inf" not in verdict.reason
+        assert "4" in verdict.reason  # the actual values are quoted
+
+
+def test_one_sided_zero_spread_is_not_exact():
+    """Zero stddev on one side only is still a sampled comparison: the exact
+    branch must not swallow a real distributional shift."""
+    baseline = [100.0] * 6
+    current = [88.0, 90.0, 87.0, 89.0, 91.0, 88.5]
+    verdict = stats.check_regression(baseline, current, higher_is_better=True)
+    assert not verdict.comparison.exact
+    assert verdict.regressed

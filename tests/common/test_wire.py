@@ -321,3 +321,77 @@ class TestSchemaGuard:
         blob = pickle.dumps({"not": "a frame"}, protocol=5)
         with pytest.raises(WireError):
             decoder.reader(WireFrame(body=blob))
+
+
+class TestInternTableBoundary:
+    """Round trips at exactly ``MAX_INTERNED_STRINGS`` and one past it, for
+    both per-channel tables, across multiple frames of one persistent
+    channel.  The cap must be a performance cliff (definitions stop turning
+    into references), never a correctness cliff — and both sides must stop
+    registering at the same frame, or every later reference resolves against
+    skewed indices.
+    """
+
+    def _fill_string_tables(self, encoder, decoder, count):
+        encoder._table.update((f"s{i}", i) for i in range(count))
+        decoder._table.extend(f"s{i}" for i in range(count))
+
+    def test_string_table_at_cap_and_one_past(self):
+        encoder, decoder = channel()
+        self._fill_string_tables(encoder, decoder, MAX_INTERNED_STRINGS - 1)
+
+        # The cap-th distinct string still gets the last table slot...
+        w = encoder.writer()
+        w.string("edge")
+        w.string("edge")
+        r = decoder.reader(w.frame())
+        assert [r.string(), r.string()] == ["edge", "edge"]
+        assert encoder._table["edge"] == MAX_INTERNED_STRINGS - 1
+        assert len(decoder._table) == MAX_INTERNED_STRINGS
+
+        # ...and keeps resolving as a cross-frame reference at the cap, while
+        # the (cap+1)-th string falls back to inline on every crossing —
+        # frame after frame, without either side registering it.
+        for _ in range(2):
+            w = encoder.writer()
+            w.string("edge")
+            w.string("beyond")
+            r = decoder.reader(w.frame())
+            assert [r.string(), r.string()] == ["edge", "beyond"]
+        assert "beyond" not in encoder._table
+        assert len(encoder._table) == MAX_INTERNED_STRINGS
+        assert len(decoder._table) == MAX_INTERNED_STRINGS
+
+    def _fill_keyset_tables(self, encoder, decoder, count):
+        fillers = [(f"f{i}",) for i in range(count)]
+        encoder._keysets.update((keys, i) for i, keys in enumerate(fillers))
+        decoder._keysets.extend(fillers)
+
+    def test_keyset_table_at_cap_and_one_past(self):
+        encoder, decoder = channel()
+        self._fill_keyset_tables(encoder, decoder, MAX_INTERNED_STRINGS - 1)
+
+        # The cap-th distinct key set takes the last slot: the second dict
+        # with the same shape rides a reference within the frame...
+        w = encoder.writer()
+        w.value({"alpha": 1, "beta": 2})
+        w.value({"alpha": 3, "beta": 4})
+        r = decoder.reader(w.frame())
+        assert r.value() == {"alpha": 1, "beta": 2}
+        assert r.value() == {"alpha": 3, "beta": 4}
+        assert encoder._keysets[("alpha", "beta")] == MAX_INTERNED_STRINGS - 1
+        assert len(decoder._keysets) == MAX_INTERNED_STRINGS
+
+        # ...and across later frames, while a fresh shape past the cap
+        # re-defines its keys on every crossing yet still round-trips, with
+        # neither table growing.
+        for payload in (7, 8):
+            w = encoder.writer()
+            w.value({"alpha": payload, "beta": payload})
+            w.value({"gamma": payload})
+            r = decoder.reader(w.frame())
+            assert r.value() == {"alpha": payload, "beta": payload}
+            assert r.value() == {"gamma": payload}
+        assert ("gamma",) not in encoder._keysets
+        assert len(encoder._keysets) == MAX_INTERNED_STRINGS
+        assert len(decoder._keysets) == MAX_INTERNED_STRINGS

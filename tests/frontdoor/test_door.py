@@ -1,0 +1,320 @@
+"""The live front door end to end: determinism, attribution, lifecycle.
+
+The load-bearing test is the equivalence suite: a seeded client driving the
+same request sequence through the asyncio door must leave fingerprints, gas
+bills and chain state bit-identical to the equivalent batch run — in serial,
+thread and process execution modes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import GrubConfig
+from repro.frontdoor import (
+    FrontDoor,
+    REJECT_DOOR_CLOSED,
+    REJECT_UNKNOWN_TENANT,
+    Request,
+    STATUS_CANCELLED,
+    STATUS_REJECTED,
+    STATUS_SETTLED,
+)
+from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec
+from repro.obs import Observability
+from repro.workloads.synthetic import SyntheticWorkload
+
+EPOCH = 4
+
+
+def make_spec(feed_id: str, **overrides) -> FeedSpec:
+    return FeedSpec(
+        feed_id=feed_id,
+        config=GrubConfig(epoch_size=EPOCH, algorithm="memoryless", k=1),
+        **overrides,
+    )
+
+
+def make_ops(feed_id: str, count: int, *, seed: int = 1):
+    return list(
+        SyntheticWorkload(
+            read_write_ratio=2.0,
+            num_operations=count,
+            num_keys=3,
+            key_prefix=f"{feed_id}-k",
+            seed=seed,
+        ).operations()
+    )
+
+
+def build_fleet(n_feeds: int = 3, n_ops: int = 10, **spec_overrides):
+    registry = FeedRegistry()
+    workloads = {}
+    for index in range(n_feeds):
+        feed_id = f"feed-{index}"
+        registry.create_feed(make_spec(feed_id, **spec_overrides))
+        workloads[feed_id] = make_ops(feed_id, n_ops, seed=11 + index)
+    return registry, workloads
+
+
+def drive_live(scheduler, workloads, *, door=None):
+    """Submit every workload operation as a live request (admission order =
+    feed order, op order), deterministically latched to the first boundary."""
+    door = door or FrontDoor(scheduler, held=True)
+
+    async def main():
+        async with door.serving() as d:
+            tasks = [
+                asyncio.create_task(
+                    d.submit(Request(tenant=feed_id, operation=operation))
+                )
+                for feed_id, operations in workloads.items()
+                for operation in operations
+            ]
+            await asyncio.sleep(0)
+            d.release()
+            responses = await asyncio.gather(*tasks)
+            d.close()
+        return responses
+
+    responses = asyncio.run(main())
+    return door, responses
+
+
+class TestLiveBatchEquivalence:
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_live_run_matches_batch_run_bit_for_bit(self, mode):
+        registry, workloads = build_fleet()
+        baseline = EpochScheduler(registry, epoch_size=EPOCH).run(workloads)
+
+        registry2, workloads2 = build_fleet()
+        kwargs = {} if mode == "serial" else {"num_workers": 2}
+        scheduler = EpochScheduler(
+            registry2, epoch_size=EPOCH, execution_mode=mode, **kwargs
+        )
+        door, responses = drive_live(scheduler, workloads2)
+
+        assert door.fleet.fingerprint() == baseline.fingerprint()
+        assert registry2.chain.height == registry.chain.height
+        assert all(response.ok for response in responses)
+        # Every unit of per-feed epoch gas is attributed to exactly one request.
+        assert sum(r.gas for r in responses) == sum(
+            feed.gas_feed + feed.gas_application
+            for feed in baseline.feeds.values()
+        )
+
+    def test_door_telemetry_fingerprint_is_mode_invariant(self):
+        fingerprints = []
+        for mode in ("serial", "thread", "process"):
+            registry, workloads = build_fleet(n_feeds=2, n_ops=6)
+            kwargs = {} if mode == "serial" else {"num_workers": 2}
+            scheduler = EpochScheduler(
+                registry, epoch_size=EPOCH, execution_mode=mode, **kwargs
+            )
+            door, _ = drive_live(scheduler, workloads)
+            fingerprints.append(door.telemetry.fingerprint())
+        assert fingerprints[0] == fingerprints[1] == fingerprints[2]
+
+    def test_pre_seeded_workloads_execute_ahead_of_live_requests(self):
+        # A live run may pre-seed queues exactly like a batch run; seeded
+        # operations execute first and own no request futures.
+        registry, workloads = build_fleet(n_feeds=1, n_ops=8)
+        baseline = EpochScheduler(registry, epoch_size=EPOCH).run(workloads)
+
+        registry2, workloads2 = build_fleet(n_feeds=1, n_ops=8)
+        scheduler = EpochScheduler(registry2, epoch_size=EPOCH)
+        seeded = {"feed-0": workloads2["feed-0"][:5]}
+        live_ops = {"feed-0": workloads2["feed-0"][5:]}
+        door = FrontDoor(scheduler, held=True)
+
+        async def main():
+            async with door.serving(seeded) as d:
+                tasks = [
+                    asyncio.create_task(
+                        d.submit(Request(tenant="feed-0", operation=op))
+                    )
+                    for op in live_ops["feed-0"]
+                ]
+                await asyncio.sleep(0)
+                d.release()
+                responses = await asyncio.gather(*tasks)
+                d.close()
+            return responses
+
+        responses = asyncio.run(main())
+        assert door.fleet.fingerprint() == baseline.fingerprint()
+        assert all(response.ok for response in responses)
+        assert door.telemetry.tenant("feed-0").settled == 3
+
+
+class TestGasAndDeferralAttribution:
+    def test_epoch_gas_splits_evenly_across_requests(self):
+        registry, workloads = build_fleet(n_feeds=1, n_ops=4)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        door, responses = drive_live(scheduler, workloads)
+        feed = door.fleet.feed("feed-0")
+        epoch_gas = feed.gas_feed + feed.gas_application
+        share, remainder = divmod(epoch_gas, 4)
+        expected = sorted(share + (1 if i < remainder else 0) for i in range(4))
+        assert sorted(r.gas for r in responses) == expected
+        assert all(r.epoch == 0 for r in responses)
+
+    def test_quota_deferral_stamps_requests_and_telemetry(self):
+        registry = FeedRegistry()
+        registry.create_feed(make_spec("throttled", max_ops_per_epoch=1))
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        workloads = {"throttled": make_ops("throttled", 3)}
+        # burst_epochs=3 so the door's rate limiter admits the whole burst;
+        # the *scheduler's* quota machinery is what defers execution here.
+        door, responses = drive_live(
+            scheduler, workloads, door=FrontDoor(scheduler, burst_epochs=3, held=True)
+        )
+        # One op per epoch: the 2nd and 3rd requests wait 1 and 2 boundaries.
+        assert [r.epoch for r in responses] == [0, 1, 2]
+        assert [r.deferred_epochs for r in responses] == [0, 1, 2]
+        assert door.telemetry.tenant("throttled").deferrals == 3
+        assert door.fleet.feed("throttled").deferred_ops == 3
+
+
+class TestRequestLifecycle:
+    def test_unknown_tenant_rejected_not_crashed(self):
+        registry, workloads = build_fleet(n_feeds=1, n_ops=2)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        door = FrontDoor(scheduler)
+
+        async def main():
+            async with door.serving() as d:
+                response = await d.submit(Request.read("ghost", "k"))
+                d.close()
+            return response
+
+        response = asyncio.run(main())
+        assert response.status == STATUS_REJECTED
+        assert response.reason == REJECT_UNKNOWN_TENANT
+
+    def test_submissions_after_close_rejected(self):
+        registry, _ = build_fleet(n_feeds=1, n_ops=2)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        door = FrontDoor(scheduler)
+
+        async def main():
+            async with door.serving() as d:
+                d.close()
+                return await d.submit(Request.read("feed-0", "k"))
+
+        response = asyncio.run(main())
+        assert response.status == STATUS_REJECTED
+        assert response.reason == REJECT_DOOR_CLOSED
+
+    def test_not_before_epoch_fast_forwards_the_idle_fleet(self):
+        registry, _ = build_fleet(n_feeds=1, n_ops=0)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        door = FrontDoor(scheduler, held=True)
+
+        async def main():
+            async with door.serving() as d:
+                task = asyncio.create_task(
+                    d.submit(Request.read("feed-0", "k", not_before_epoch=5))
+                )
+                await asyncio.sleep(0)
+                d.release()
+                response = await task
+                d.close()
+            return response
+
+        response = asyncio.run(main())
+        assert response.status == STATUS_SETTLED
+        assert response.epoch == 5
+        # Epochs 0–4 were skipped, not run: only epoch 5 has a roster entry.
+        assert [epoch for epoch, _ in door.fleet.rosters] == [5]
+        assert door.fleet.epochs_run == 6
+
+    def test_eviction_mid_run_cancels_queued_requests(self):
+        registry = FeedRegistry()
+        registry.create_feed(make_spec("resident"))
+        registry.create_feed(make_spec("leaver", max_ops_per_epoch=1))
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        scheduler.evict("leaver", at_epoch=1)
+        workloads = {
+            "resident": make_ops("resident", 8),
+            "leaver": make_ops("leaver", 3),
+        }
+        door, responses = drive_live(
+            scheduler, workloads, door=FrontDoor(scheduler, burst_epochs=3, held=True)
+        )
+        leaver = [r for r in responses if r.tenant == "leaver"]
+        assert sorted(r.status for r in leaver) == [
+            STATUS_CANCELLED,
+            STATUS_CANCELLED,
+            STATUS_SETTLED,
+        ]
+        stats = door.telemetry.tenant("leaver")
+        assert stats.settled == 1 and stats.cancelled == 2
+        assert door.fleet.feed("leaver").cancelled_ops == 2
+
+    def test_fleet_property_requires_a_finished_run(self):
+        registry, _ = build_fleet(n_feeds=1, n_ops=0)
+        door = FrontDoor(EpochScheduler(registry, epoch_size=EPOCH))
+        with pytest.raises(ConfigurationError):
+            door.fleet
+
+    def test_serving_twice_rejected(self):
+        registry, _ = build_fleet(n_feeds=1, n_ops=0)
+        door = FrontDoor(EpochScheduler(registry, epoch_size=EPOCH))
+
+        async def main():
+            async with door.serving() as d:
+                d.close()
+            async with door.serving():
+                pass
+
+        with pytest.raises(ConfigurationError, match="already serving"):
+            asyncio.run(main())
+
+
+class TestObservability:
+    def test_span_tree_roots_at_frontdoor_with_request_spans(self):
+        obs = Observability(enabled=True)
+        registry, workloads = build_fleet(n_feeds=2, n_ops=4)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH, obs=obs)
+        door, responses = drive_live(scheduler, workloads)
+
+        roots = obs.tracer.roots
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "frontdoor"
+        children = [span.name for span in root.children]
+        assert "run" in children
+        request_spans = [
+            span for span in root.children if span.name == "frontdoor.request"
+        ]
+        assert len(request_spans) == len(responses)
+        assert all(span.finished for span in request_spans)
+        assert {span.attrs["status"] for span in request_spans} == {STATUS_SETTLED}
+        # run → epoch nesting is preserved under the new root.
+        run_span = next(span for span in root.children if span.name == "run")
+        assert [s.name for s in run_span.children].count("epoch") == len(
+            [epoch for epoch, _ in door.fleet.rosters]
+        )
+
+    def test_latency_histogram_and_door_samples_populate(self):
+        obs = Observability(enabled=True)
+        registry, workloads = build_fleet(n_feeds=1, n_ops=4)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH, obs=obs)
+        door, responses = drive_live(scheduler, workloads)
+
+        histograms = obs.registry.histograms("request_latency_seconds")
+        assert sum(h.count for h in histograms) == len(responses)
+        assert len(door.latencies) == len(responses)
+        report = door.percentiles()
+        assert set(report) == {"p50", "p95", "p99"}
+        assert all(value is not None and value >= 0.0 for value in report.values())
+
+    def test_disabled_obs_still_reports_percentiles(self):
+        registry, workloads = build_fleet(n_feeds=1, n_ops=4)
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH)
+        door, responses = drive_live(scheduler, workloads)
+        assert all(v is not None for v in door.percentiles().values())

@@ -1,0 +1,73 @@
+"""Front-door latency percentile math, property-tested against the
+sorted-list nearest-rank reference (the same reference pinning the obs
+plane's histogram percentiles — door and obs must quote identical numbers
+for identical samples)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.frontdoor import latency_percentile, latency_percentiles
+from repro.obs import REPORT_PERCENTILES
+from repro.obs.metrics import Histogram, percentile_reference
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+q_strategy = st.floats(min_value=0.001, max_value=100.0)
+
+
+class TestLatencyPercentile:
+    @settings(max_examples=100, deadline=None)
+    @given(samples_strategy, q_strategy)
+    def test_matches_sorted_list_reference(self, samples, q):
+        assert latency_percentile(samples, q) == percentile_reference(samples, q)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy, q_strategy)
+    def test_agrees_with_obs_histogram(self, samples, q):
+        histogram = Histogram("request_latency_seconds")
+        for value in samples:
+            histogram.observe(value)
+        assert latency_percentile(samples, q) == histogram.percentile(q)
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_result_is_an_observed_sample(self, samples):
+        for q in (10, 50, 90, 99, 100):
+            assert latency_percentile(samples, q) in samples
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_monotone_in_q(self, samples):
+        values = [
+            latency_percentile(samples, q) for q in (10, 25, 50, 75, 90, 95, 99, 100)
+        ]
+        assert values == sorted(values)
+
+    def test_empty_samples_give_none(self):
+        assert latency_percentile([], 50.0) is None
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_percentile([1.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            latency_percentile([1.0], 100.5)
+
+
+class TestLatencyPercentiles:
+    @settings(max_examples=60, deadline=None)
+    @given(samples_strategy)
+    def test_report_dict_shape_and_values(self, samples):
+        report = latency_percentiles(samples)
+        assert set(report) == {f"p{q:g}" for q in REPORT_PERCENTILES}
+        for q in REPORT_PERCENTILES:
+            assert report[f"p{q:g}"] == percentile_reference(samples, q)
+
+    def test_empty_samples_report_none(self):
+        assert latency_percentiles([]) == {"p50": None, "p95": None, "p99": None}

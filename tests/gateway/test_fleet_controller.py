@@ -321,3 +321,95 @@ class TestElasticDeterminism:
             )
 
         assert run(1).fingerprint() == run(4).fingerprint()
+
+
+class TestFlashTenancy:
+    """Same-boundary admit→evict regression sweep.
+
+    The flash path runs the full admission (contracts, cache shard, watchdog
+    route, telemetry row) and the full departure inside one ``_apply_churn``
+    call; these pin down that it tears down exactly what it set up, touches
+    no other tenant, and stays bit-deterministic across backends.
+    """
+
+    def _flash_scheduler(self, registry, **kwargs):
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH, **kwargs)
+        scheduler.admit(make_spec("flash"), make_ops("flash", 8), at_epoch=1)
+        scheduler.evict("flash", at_epoch=1)
+        return scheduler
+
+    def test_flash_departure_leaves_other_tenants_watchdog_traffic_alone(self):
+        registry = FeedRegistry()
+        alpha = registry.create_feed(make_spec("alpha"))
+        # An unpolled consumer request for the *resident* tenant sits in the
+        # chain log when the flash boundary fires.  The departure's final
+        # watchdog poll must route it to alpha — still hosted — and the
+        # flash teardown must not cancel it.
+        registry.chain.execute_internal_call(
+            sender="end-user",
+            contract_address=alpha.consumer.address,
+            function="query_feed",
+            scope="alpha",
+            key="alpha-k0",
+        )
+        scheduler = self._flash_scheduler(registry)
+        fleet = scheduler.run({"alpha": make_ops("alpha", 16)})
+
+        assert fleet.feed("flash").cancelled_requests == 0
+        assert fleet.feed("alpha").cancelled_requests == 0
+        assert registry.watchdog.requests_cancelled == 0
+        assert alpha.service_provider.pending == []  # serviced, not dropped
+
+    def test_flash_cache_shard_is_torn_down(self):
+        from repro.gateway import ReadCache
+
+        registry = FeedRegistry()
+        registry.create_feed(make_spec("alpha"))
+        cache = ReadCache()
+        scheduler = EpochScheduler(registry, epoch_size=EPOCH, read_cache=cache)
+        scheduler.admit(make_spec("flash"), make_ops("flash", 8), at_epoch=1)
+        scheduler.evict("flash", at_epoch=1)
+        scheduler.run({"alpha": make_ops("alpha", 16)})
+        # The admission pre-created flash's shard; the same-boundary eviction
+        # must deregister it — a churning gateway must not leak ghost shards.
+        assert "flash" not in cache._shards
+        assert "alpha" in cache._shards
+
+    def test_flash_bill_is_frozen_at_preload(self):
+        registry = FeedRegistry()
+        registry.create_feed(make_spec("alpha"))
+        scheduler = self._flash_scheduler(registry)
+        fleet = scheduler.run({"alpha": make_ops("alpha", 16)})
+
+        flash = fleet.feed("flash")
+        # Zero epochs ran between the admission and the eviction, so the
+        # telemetry bill is empty and immutable...
+        assert flash.epochs == []
+        assert flash.gas_feed == 0 and flash.gas_application == 0
+        # ...and the on-chain scope holds exactly the tenancy's setup gas
+        # (contract deployment + preload), which later epochs never touched:
+        # an identical tenancy on a fresh chain pays the identical amount.
+        control = FeedRegistry()
+        control.create_feed(make_spec("flash"))
+        assert registry.chain.ledger.scope_total(
+            "flash", LAYER_FEED
+        ) == control.chain.ledger.scope_total("flash", LAYER_FEED)
+
+    def test_flash_churn_parallel_matches_serial(self):
+        def run(workers: int):
+            registry = FeedRegistry()
+            for index in range(3):
+                registry.create_feed(make_spec(f"res-{index}"))
+            scheduler = EpochScheduler(
+                registry, num_shards=2, num_workers=workers, epoch_size=EPOCH
+            )
+            scheduler.admit(make_spec("flash"), make_ops("flash", 8), at_epoch=1)
+            scheduler.evict("flash", at_epoch=1)
+            return scheduler.run(
+                {f"res-{index}": make_ops(f"res-{index}", 12, seed=index + 1)
+                 for index in range(3)}
+            )
+
+        serial, threaded = run(1), run(4)
+        assert serial.fingerprint() == threaded.fingerprint()
+        assert serial.feed("flash").cancelled_ops == 8

@@ -7,6 +7,7 @@ import pytest
 from repro.common.types import Operation
 from repro.core.config import GrubConfig
 from repro.gateway import EpochScheduler, FeedRegistry, FeedSpec, ReadCache
+from repro.gateway.cache import CacheStats
 
 
 class TestReadCacheUnit:
@@ -250,3 +251,50 @@ class TestSchedulerEvictionTeardown:
         assert registry.get("alpha").consumer.last_value("k") == b"new-value"
         assert cache.get("alpha", "k") == b"new-value"
         assert fleet.feed("alpha").operations == 4
+
+
+class TestStatsHygiene:
+    """CacheStats arithmetic: the regression pair for the zero-lookup
+    hit_rate and the install-time retirement of replaced shard counters."""
+
+    def test_zero_lookup_hit_rate_is_zero_not_nan(self):
+        stats = CacheStats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+        # A fresh cache (pre-created shards, no traffic) quotes the same.
+        cache = ReadCache()
+        cache.ensure_shard("alpha")
+        assert cache.stats.hit_rate == 0.0
+
+    def test_merge_folds_every_counter(self):
+        into = CacheStats(hits=1, misses=2, invalidations=3, evictions=4)
+        into.merge(CacheStats(hits=10, misses=20, invalidations=30, evictions=40))
+        assert (into.hits, into.misses, into.invalidations, into.evictions) == (
+            11,
+            22,
+            33,
+            44,
+        )
+
+    def test_install_shard_retires_replaced_counters_exactly_once(self):
+        cache = ReadCache()
+        # Main-side shard observes some traffic before the worker's shard
+        # ships back (a reused cache; a fresh run's shard counts nothing).
+        cache.put("alpha", "k", b"main")
+        cache.get("alpha", "k")  # hit
+        cache.get("alpha", "ghost")  # miss
+        worker_stats = CacheStats(hits=5, misses=3)
+        cache.install_shard("alpha", [("k", b"worker")], worker_stats)
+        # Aggregate = retired main-side counters + installed worker counters,
+        # each exactly once.
+        assert cache.stats.hits == 1 + 5
+        assert cache.stats.misses == 1 + 3
+        # The live shard carries only what the worker observed.
+        assert cache.shard_stats("alpha").hits == 5
+        assert cache.get("alpha", "k") == b"worker"
+
+    def test_install_over_missing_shard_retires_nothing(self):
+        cache = ReadCache()
+        cache.install_shard("alpha", [("k", b"v")], CacheStats(hits=2, misses=1))
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
