@@ -105,9 +105,9 @@ def run_fleet(
     """One churn run; the importable unit the experiment runner drives.
 
     ``execution_mode`` defaults to the scheduler's thread backend (the
-    benchmark's historical behaviour); pass ``"serial"`` for an inline run.
-    The process backend rejects churn by design — the runner never routes
-    churn cells there.
+    benchmark's historical behaviour); pass ``"serial"`` for an inline run or
+    ``"process"`` for the elastic multicore backend, where churn and the
+    gas-aware re-shard migrate feeds between worker lanes as snapshot frames.
     """
     schedule = build_schedule(
         seed, ops_per_feed, base_feeds=base_feeds, correlated=correlated

@@ -210,6 +210,20 @@ def _ipc_record(summary: dict) -> dict:
             for lane, row in summary["lanes"].items()
         },
     }
+    for key in (
+        "migrations_total",
+        "migration_bytes_total",
+        "installs_total",
+        "install_bytes_total",
+        "lane_spawns_total",
+        "lane_retirements_total",
+    ):
+        if key in summary:
+            record[key] = summary[key]
+    if "migration_bytes_per_epoch" in summary:
+        record["migration_bytes_per_epoch"] = round(
+            summary["migration_bytes_per_epoch"], 2
+        )
     if "legacy_pickle_bytes_total" in summary:
         record["legacy_pickle_bytes_total"] = summary["legacy_pickle_bytes_total"]
         record["legacy_bytes_per_epoch"] = round(summary["legacy_bytes_per_epoch"], 2)
@@ -447,6 +461,7 @@ def run_sweep(
             "gas_per_op": serial["gas_per_op"],
         },
         "observability": phase_latency_record(workloads, serial),
+        "migration": migration_record(),
     }
     if host["effective_cpus"] <= 1:
         # Honest label for the committed JSON: every multi-lane number in this
@@ -454,6 +469,32 @@ def run_sweep(
         # scaling.  Re-running the sweep on a real multicore host clears it.
         payload["multicore_sweep"] = "pending"
     return payload
+
+
+def migration_record() -> dict:
+    """The elastic backend's migration traffic, appended to the trajectory.
+
+    The sweep above runs static pinned-lane fleets, so its per-configuration
+    ``ipc`` records legitimately carry zero migrations; this extra record is
+    one seeded churn + gas-aware-planner run on the elastic process backend
+    (delegated to ``bench_migration``, whose hard checks also re-verify
+    serial equivalence), so the committed JSON tracks what moving a feed
+    between lanes actually costs per epoch.
+    """
+    bench_dir = str(Path(__file__).resolve().parent)
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    import bench_migration
+
+    payload = bench_migration.run_benchmark(
+        bench_migration.DEFAULT_SEED, bench_migration.OPS_PER_FEED
+    )
+    return {
+        "source": payload["source"],
+        "config": payload["config"],
+        "equivalence": payload["equivalence"],
+        "ipc": payload["results"]["ipc"],
+    }
 
 
 def write_results(payload: dict, output: Path) -> None:

@@ -31,10 +31,13 @@ importable)::
       }
     }
 
-Grid canonicalization: ``serial`` always runs one worker, ``thread`` cells
-need >= 2 workers (one thread worker is just serial with overhead), and the
-process backend rejects churn by design, so ``process × churn`` cells are
-dropped.  Every sample records per-run host affinity (``effective_cpus`` and
+Grid canonicalization: ``serial`` always runs one worker and ``thread`` cells
+need >= 2 workers (one thread worker is just serial with overhead).
+``process × churn`` cells run like any others — the elastic process engine
+migrates feeds between lanes at churn and re-shard boundaries — and their
+fingerprints join the cross-backend equivalence check, so the migration path
+is equivalence-gated on every CI run.  Every sample records per-run host
+affinity (``effective_cpus`` and
 the actual CPU set — CI containers routinely advertise many CPUs while
 granting one) plus the run's per-phase latency percentiles from an attached
 observability plane.  When the host grants more than one effective CPU the
@@ -191,8 +194,7 @@ def expand_cells(spec: dict) -> List[Cell]:
     """Expand a spec's factor grid into canonical, deduplicated cells.
 
     Canonicalization: serial forces one worker; thread keeps only >= 2
-    workers; process × churn is dropped (the process backend rejects churn by
-    design).  The returned list is deterministically sorted — randomization
+    workers.  The returned list is deterministically sorted — randomization
     happens at the *run order* level, not here.
     """
     factors = spec.get("factors", {})
@@ -226,8 +228,6 @@ def expand_cells(spec: dict) -> List[Cell]:
             continue
         elif mode == "process" and workers < 1:
             continue
-        if mode == "process" and workload == "churn":
-            continue  # the process backend loudly rejects churn
         cells.add(
             Cell(
                 workload=workload,

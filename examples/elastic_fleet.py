@@ -7,12 +7,20 @@ cancelled, its bill frozen), and a quota-capped tenant has its over-quota
 operations deferred to later epochs — all without ever producing a settlement
 block over the chain's gas limit.
 
+The whole walkthrough runs on any execution backend — churn, the gas-aware
+planner, and quota deferral included.  ``--execution-mode process`` runs it
+on the elastic process backend, where the same feeds migrate between worker
+lanes as snapshot frames (the report is bit-identical either way).
+
 Run with::
 
     PYTHONPATH=src python examples/elastic_fleet.py
+    PYTHONPATH=src python examples/elastic_fleet.py --execution-mode process
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.analysis.reporting import format_gas
 from repro.common.types import Operation
@@ -43,7 +51,16 @@ def mint_burst(feed_id: str):
     return ops
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--execution-mode",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="execution backend (process = elastic lanes with feed migration)",
+    )
+    args = parser.parse_args(argv)
+
     registry = FeedRegistry()
     config = GrubConfig(epoch_size=EPOCH_SIZE, algorithm="memoryless", k=1)
 
@@ -59,6 +76,7 @@ def main() -> None:
     scheduler = EpochScheduler(
         registry,
         num_workers=2,
+        execution_mode=args.execution_mode,
         epoch_size=EPOCH_SIZE,
         # A tight per-shard budget so the planner visibly bin-packs: 100k of
         # the 10M block gas limit.

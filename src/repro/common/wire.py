@@ -54,7 +54,10 @@ from repro.common.errors import ReproError
 
 #: Bump on any change to the frame layout or the type tags below.  Encoder
 #: and decoder check it per frame; a mismatch is a hard error.
-WIRE_SCHEMA_VERSION = 1
+#: v2: lane epoch results carry per-feed settled gas (the main-side planner's
+#: observation stream), and feed-snapshot frames (migration/install/teardown)
+#: joined the vocabulary.
+WIRE_SCHEMA_VERSION = 2
 
 #: First byte of every frame body — catches "this is not a wire frame at all"
 #: before a version comparison is even meaningful.

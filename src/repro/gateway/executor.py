@@ -61,10 +61,25 @@ file owns the *schema* (what the fields mean); ``repro.common.wire`` owns the
 Worker processes rebuild their feeds from the shipped :class:`FeedSpec`s plus
 a wire-packed seed frame of workload operations and preload records (sent
 once, at start), so the construction is deterministic and identical to the
-main registry's own mirrors.  Constraints the backend enforces rather than
-silently mis-handling: no tenant churn (shard pinning needs a static fleet),
-a stable shard plan (round-robin; a gas-aware plan would re-shard mid-run),
-and memory-backed SP stores (two processes must not open one LSM directory).
+main registry's own mirrors.
+
+**Feed migration.**  Feeds are not pinned to the lane that first hosted them:
+a feed's complete mirror — contract attrs and storage slots, the SP store's
+records, slot layout and Merkle tree, DO root/signer state, SP counters,
+control-plane and monitor state, cache shard, workload queue, dirty keys,
+telemetry row — serialises into one self-contained snapshot frame
+(:func:`encode_feed_snapshot`; a fresh wire channel per frame, so no lane's
+persistent intern table leaks into the move) and installs into another lane
+(:func:`decode_feed_snapshot` + :func:`install_feed_snapshot`).
+:class:`ElasticProcessEngine` builds on those frames: lanes start *empty* and
+every feed — initial placement included — arrives by snapshot install, so
+admission, eviction, gas-aware re-sharding and lane spawn/retire all reduce to
+the same three lane operations (install / migrate-out / teardown).  LSM-backed
+SP stores migrate by closing the source lane's exclusive directory opener
+before the destination lane re-opens it (single-opener enforced by
+:class:`~repro.storage.lsm.LSMStore`).  The static
+:class:`ProcessEngine` path — fixed fleet, round-robin plan, memory stores —
+keeps its fork/wire seeding and pipelined multi-epoch orders.
 """
 
 from __future__ import annotations
@@ -117,6 +132,7 @@ from repro.gateway.router import (
     scope_weights_for_update,
 )
 from repro.obs.tracing import Tracer
+from repro.storage.lsm import LSMStore
 
 #: Externally-owned account the gateway runtime submits batched transactions
 #: from (defined here so the worker side needs no scheduler import).
@@ -474,6 +490,11 @@ class ShardEpochResult:
     update: Optional[SettlementResult]
     #: feed id → operations still queued after this epoch (run termination).
     remaining: Dict[str, int]
+    #: feed id → the epoch's settled gas total (what
+    #: :func:`settle_feed_epoch` returned on the lane) — the planner's
+    #: observation input and the live request source's ``gas`` argument, so
+    #: the main process feeds both exactly what a serial run would have.
+    epoch_gas: Dict[str, int] = field(default_factory=dict)
     #: This shard's finished phase spans in wire form (empty when the lane
     #: runs untraced).  Durations are from the *lane's* clock; the main
     #: process grafts them into its trace tree in fixed shard order
@@ -521,6 +542,11 @@ class FeedStateResult:
     sp_records_delivered: int
     cache_entries: Tuple[Tuple[str, bytes], ...]
     cache_stats: Optional[CacheStats]
+    #: When set, :attr:`sp_store_state` is a delta against an *empty* store
+    #: (the feed was snapshot-installed into its lane, so the lane never saw
+    #: the main mirror's seed state): the main side resets its mirror's store
+    #: before applying, instead of patching the seed state in place.
+    store_reset: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -791,6 +817,10 @@ def encode_lane_epoch(
         for feed_id, count in result.remaining.items():
             w.string(feed_id)
             w.uvarint(count)
+        w.uvarint(len(result.epoch_gas))
+        for feed_id, gas in result.epoch_gas.items():
+            w.string(feed_id)
+            w.uvarint(gas)
         w.uvarint(len(result.spans))
         for span in result.spans:
             w.value(span)
@@ -811,6 +841,7 @@ def decode_lane_epoch(
         deliver = _decode_settlement(r)
         update = _decode_settlement(r)
         remaining = {r.string(): r.uvarint() for _ in range(r.uvarint())}
+        epoch_gas = {r.string(): r.uvarint() for _ in range(r.uvarint())}
         spans = tuple(r.value() for _ in range(r.uvarint()))
         results.append(
             ShardEpochResult(
@@ -819,10 +850,311 @@ def decode_lane_epoch(
                 deliver=deliver,
                 update=update,
                 remaining=remaining,
+                epoch_gas=epoch_gas,
                 spans=spans,
             )
         )
     return epoch, results
+
+
+# ---------------------------------------------------------------------------
+# Feed snapshot frames (migration / admission / eviction across lanes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FeedSnapshot:
+    """One feed's complete mirror, decoded from a snapshot frame.
+
+    Everything a lane needs to continue the feed exactly where another
+    interpreter left it: the workload queue and dirty keys, the telemetry row
+    and run report, both contracts' attrs and storage slots, the SP store's
+    full contents (records in dict order, slot layout, free-slot stack,
+    Merkle leaves + interior levels), the DO's trusted root and signer state,
+    the SP's counters and pending requests, the control plane (algorithm,
+    actuator, monitor counters and history-cursor position), and the feed's
+    cache shard.  The SP's ``_log_cursor`` deliberately does *not* travel —
+    it indexes the source lane's private event log; the installer re-bases it
+    against the destination chain.
+    """
+
+    feed_id: str
+    queue: List[Operation]
+    dirty: set
+    telemetry: FeedTelemetry
+    report: RunReport
+    manager_attrs: dict
+    manager_slots: Dict[str, bytes]
+    consumer_attrs: dict
+    consumer_slots: Dict[str, bytes]
+    #: ``(key, value, state_index, version, slot)`` in the source store's
+    #: dict order (insertion order is reproduced on install, so a later
+    #: run-end delta computes identically to a never-migrated run).
+    records: List[Tuple[str, bytes, int, int, int]]
+    slot_count: int
+    free_slots: List[int]
+    #: Every Merkle leaf, 32 bytes each — including :data:`TOMBSTONE_LEAF`
+    #: at freed slots, which a changed-records delta could not reconstruct.
+    leaves_blob: bytes
+    upper_blob: bytes
+    do_trusted_root: bytes
+    do_epochs_submitted: int
+    signer_secret: bytes
+    signer_epoch: int
+    sp_deliveries_sent: int
+    sp_records_delivered: int
+    sp_pending: list
+    cp_epochs_run: int
+    cp_algorithm: object
+    cp_actuator: object
+    monitor_observed_reads: int
+    monitor_observed_writes: int
+    #: Absolute call-history index of the monitor's cursor.  Its coordinate
+    #: space is the storage manager's call history, which travels with the
+    #: contract attrs — so the position stays valid across the move.
+    monitor_cursor_position: int
+    monitor_local_writes: list
+    cache_entries: List[Tuple[str, bytes]]
+    cache_stats: Optional[CacheStats]
+
+
+def encode_feed_snapshot(
+    encoder: WireEncoder,
+    handle,
+    *,
+    queue: Sequence[Operation],
+    dirty: set,
+    telemetry: FeedTelemetry,
+    cache_entries: Sequence[Tuple[str, bytes]] = (),
+    cache_stats: Optional[CacheStats] = None,
+) -> WireFrame:
+    """Serialise one feed's mirror out of its current interpreter.
+
+    Snapshot frames always use a **fresh** channel (pass a new
+    :class:`WireEncoder`): the frame moves between interpreters whose
+    persistent epoch channels have diverged intern tables, so it must be
+    self-contained.  Regular bulk state — store records, Merkle digests —
+    packs compactly; the irregular object graphs (telemetry, report,
+    contract attrs, control-plane algorithm/actuator) ride the codec's
+    tagged-value fallback.
+    """
+    system = handle.system
+    store = system.sp_store
+    data_owner = handle.data_owner
+    provider = handle.service_provider
+    control_plane = data_owner.control_plane
+    monitor = control_plane.monitor
+    w = encoder.writer()
+    w.string(handle.feed_id)
+    w.uvarint(len(queue))
+    for operation in queue:
+        _encode_operation(w, operation)
+    w.uvarint(len(dirty))
+    for key in sorted(dirty):
+        w.string(key)
+    w.value(telemetry)
+    w.value(handle.report)
+    manager_attrs, manager_slots = _contract_state(handle.storage_manager)
+    consumer_attrs, consumer_slots = _contract_state(handle.consumer)
+    w.value(manager_attrs)
+    w.value(manager_slots)
+    w.value(consumer_attrs)
+    w.value(consumer_slots)
+    records = store._records
+    slot_of = store._slot_of
+    w.uvarint(len(records))
+    for key, record in records.items():
+        w.string(key)
+        w.bytes_(record.value)
+        w.uvarint(_STATE_INDEX[record.state])
+        w.uvarint(record.version)
+        w.uvarint(slot_of[key])
+    w.uvarint(len(store._slots))
+    w.uvarint(len(store._free_slots))
+    for slot in store._free_slots:
+        w.uvarint(slot)
+    tree = store._tree
+    w.bytes_(b"".join(tree._leaves))
+    w.bytes_(b"".join(digest for level in tree._levels[1:] for digest in level))
+    w.bytes_(data_owner.trusted_root)
+    w.uvarint(data_owner.epochs_submitted)
+    w.bytes_(data_owner.signer._secret)
+    w.uvarint(data_owner.signer._epoch)
+    w.uvarint(provider.deliveries_sent)
+    w.uvarint(provider.records_delivered)
+    w.value(list(provider.pending))
+    w.uvarint(control_plane.epochs_run)
+    w.value(control_plane.algorithm)
+    w.value(control_plane.actuator)
+    w.uvarint(monitor.observed_reads)
+    w.uvarint(monitor.observed_writes)
+    w.uvarint(monitor._cursor.position)
+    w.value(list(monitor._local_writes))
+    w.uvarint(len(cache_entries))
+    for key, value in cache_entries:
+        w.string(key)
+        w.bytes_(value)
+    if cache_stats is None:
+        w.uvarint(0)
+    else:
+        w.uvarint(1)
+        w.value(cache_stats)
+    return w.frame()
+
+
+def decode_feed_snapshot(decoder: WireDecoder, frame: WireFrame) -> FeedSnapshot:
+    """Decode :func:`encode_feed_snapshot` (mirrored field order; pass a
+    fresh :class:`WireDecoder` — snapshot channels are one frame long)."""
+    r = decoder.reader(frame)
+    feed_id = r.string()
+    queue = [_decode_operation(r) for _ in range(r.uvarint())]
+    dirty = {r.string() for _ in range(r.uvarint())}
+    telemetry = r.value()
+    report = r.value()
+    manager_attrs = r.value()
+    manager_slots = r.value()
+    consumer_attrs = r.value()
+    consumer_slots = r.value()
+    records = [
+        (r.string(), r.bytes_(), r.uvarint(), r.uvarint(), r.uvarint())
+        for _ in range(r.uvarint())
+    ]
+    slot_count = r.uvarint()
+    free_slots = [r.uvarint() for _ in range(r.uvarint())]
+    leaves_blob = r.bytes_()
+    upper_blob = r.bytes_()
+    return FeedSnapshot(
+        feed_id=feed_id,
+        queue=queue,
+        dirty=dirty,
+        telemetry=telemetry,
+        report=report,
+        manager_attrs=manager_attrs,
+        manager_slots=manager_slots,
+        consumer_attrs=consumer_attrs,
+        consumer_slots=consumer_slots,
+        records=records,
+        slot_count=slot_count,
+        free_slots=free_slots,
+        leaves_blob=leaves_blob,
+        upper_blob=upper_blob,
+        do_trusted_root=r.bytes_(),
+        do_epochs_submitted=r.uvarint(),
+        signer_secret=r.bytes_(),
+        signer_epoch=r.uvarint(),
+        sp_deliveries_sent=r.uvarint(),
+        sp_records_delivered=r.uvarint(),
+        sp_pending=r.value(),
+        cp_epochs_run=r.uvarint(),
+        cp_algorithm=r.value(),
+        cp_actuator=r.value(),
+        monitor_observed_reads=r.uvarint(),
+        monitor_observed_writes=r.uvarint(),
+        monitor_cursor_position=r.uvarint(),
+        monitor_local_writes=r.value(),
+        cache_entries=[(r.string(), r.bytes_()) for _ in range(r.uvarint())],
+        cache_stats=r.value() if r.uvarint() else None,
+    )
+
+
+def _rebuild_tree_levels(leaves: List[bytes], upper: bytes) -> List[List[bytes]]:
+    """Reassemble a Merkle tree's levels from its leaves and the shipped
+    interior blob (32 bytes per node, root last)."""
+    size = 1
+    while size < max(1, len(leaves)):
+        size *= 2
+    level0 = list(leaves)
+    level0.extend([EMPTY_DIGEST] * (size - len(level0)))
+    levels = [level0]
+    blob = memoryview(upper)
+    offset = 0
+    width = size // 2
+    while width >= 1:
+        levels.append(
+            [
+                bytes(blob[offset + index * 32 : offset + index * 32 + 32])
+                for index in range(width)
+            ]
+        )
+        offset += width * 32
+        width //= 2
+    return levels
+
+
+def install_feed_snapshot(handle, snapshot: FeedSnapshot) -> None:
+    """Install a decoded snapshot into a freshly created feed handle.
+
+    The handle must come from ``create_feed`` with the feed's preload
+    stripped (the preload's records travel inside the snapshot's store
+    contents).  Contract state, store, DO, SP and control plane are rebuilt
+    in place; the caller wires the environment side (queue, dirty set,
+    telemetry row, cache shard).
+    """
+    if handle.feed_id != snapshot.feed_id:
+        raise WireError(
+            f"snapshot frame is for feed {snapshot.feed_id!r}, but the "
+            f"destination handle hosts {handle.feed_id!r}"
+        )
+    _apply_contract_state(handle.storage_manager, snapshot.manager_attrs, snapshot.manager_slots)
+    _apply_contract_state(handle.consumer, snapshot.consumer_attrs, snapshot.consumer_slots)
+    handle.report.__dict__.update(snapshot.report.__dict__)
+    store = handle.system.sp_store
+    records: Dict[str, KVRecord] = {}
+    slot_of: Dict[str, int] = {}
+    slots: List[Optional[str]] = [None] * snapshot.slot_count
+    replicated = set()
+    backing = store.backing
+    for key, value, state_index, version, slot in snapshot.records:
+        record = KVRecord(
+            key=key,
+            value=value,
+            state=_REPLICATION_STATES[state_index],
+            version=version,
+        )
+        records[key] = record
+        slot_of[key] = slot
+        slots[slot] = key
+        if record.state is ReplicationState.REPLICATED:
+            replicated.add(key)
+        backing.put(record.prefixed_key, record.value)
+    store._records = records
+    store._slot_of = slot_of
+    store._slots = slots
+    store._free_slots = list(snapshot.free_slots)
+    store._sorted_keys = sorted(records)
+    store._replicated_keys = replicated
+    blob = snapshot.leaves_blob
+    leaves = [bytes(blob[index : index + 32]) for index in range(0, len(blob), 32)]
+    tree = store._tree
+    tree._leaves = leaves
+    tree._levels = _rebuild_tree_levels(leaves, snapshot.upper_blob)
+    data_owner = handle.data_owner
+    data_owner.trusted_root = snapshot.do_trusted_root
+    data_owner.epochs_submitted = snapshot.do_epochs_submitted
+    data_owner.signer._secret = snapshot.signer_secret
+    data_owner.signer._epoch = snapshot.signer_epoch
+    data_owner._write_buffer = []
+    provider = handle.service_provider
+    provider.deliveries_sent = snapshot.sp_deliveries_sent
+    provider.records_delivered = snapshot.sp_records_delivered
+    provider.pending = list(snapshot.sp_pending)
+    # The source lane's log cursor indexes *its* chain; re-base against the
+    # destination chain so a later watchdog-less poll never replays history.
+    provider._log_cursor = len(handle.system.chain.event_log)
+    # Mutate the control plane *in place*: the SP's ``decision_lookup``
+    # binding (wired at construction) must keep pointing at this object.
+    control_plane = data_owner.control_plane
+    control_plane.epochs_run = snapshot.cp_epochs_run
+    control_plane.algorithm = snapshot.cp_algorithm
+    control_plane.actuator = snapshot.cp_actuator
+    monitor = control_plane.monitor
+    monitor.observed_reads = snapshot.monitor_observed_reads
+    monitor.observed_writes = snapshot.monitor_observed_writes
+    monitor._local_writes = list(snapshot.monitor_local_writes)
+    monitor._read_ops = {}
+    # The cursor itself is destination-local (a weak ref held by the manager
+    # we just rebuilt); only its position crosses.
+    monitor._cursor.position = snapshot.monitor_cursor_position
 
 
 # ---------------------------------------------------------------------------
@@ -856,6 +1188,24 @@ class IpcMeter:
     def __init__(self) -> None:
         self.epochs = 0
         self.lanes: Dict[int, Dict[str, float]] = {}
+        #: Cross-lane feed moves (source snapshot → destination install).
+        self.migrations = 0
+        self.migration_bytes = 0
+        #: Main→lane snapshot installs (initial elastic placement and
+        #: admissions — every elastic feed arrives by one of these).
+        self.installs = 0
+        self.install_bytes = 0
+        #: Lane pool elasticity events (spawned / drained-and-retired lanes).
+        self.lane_spawns = 0
+        self.lane_retirements = 0
+
+    def record_migration(self, nbytes: int) -> None:
+        self.migrations += 1
+        self.migration_bytes += nbytes
+
+    def record_install(self, nbytes: int) -> None:
+        self.installs += 1
+        self.install_bytes += nbytes
 
     def record(self, samples: Sequence[IpcSample]) -> None:
         self.epochs += 1
@@ -893,6 +1243,15 @@ class IpcMeter:
             "lanes": {
                 str(lane): dict(self.lanes[lane]) for lane in sorted(self.lanes)
             },
+            "migrations_total": self.migrations,
+            "migration_bytes_total": self.migration_bytes,
+            "migration_bytes_per_epoch": (
+                self.migration_bytes / self.epochs if self.epochs else 0.0
+            ),
+            "installs_total": self.installs,
+            "install_bytes_total": self.install_bytes,
+            "lane_spawns_total": self.lane_spawns,
+            "lane_retirements_total": self.lane_retirements,
         }
         if legacy_total:
             out["legacy_pickle_bytes_total"] = legacy_total
@@ -937,6 +1296,9 @@ class _LaneWorker:
         self.encoder = WireEncoder()
         cache = ReadCache(capacity=config.cache_capacity) if config.cache_enabled else None
         self.shards: List[Tuple[int, List[str]]] = []
+        #: Feeds that arrived via :meth:`install_feed` — their run-end store
+        #: state ships as a full-from-empty delta (``store_reset``).
+        self._installed: set = set()
         if isinstance(config, ForkLaneConfig):
             seed = _FORK_SEED
             if seed is None:
@@ -1037,6 +1399,123 @@ class _LaneWorker:
                 )
             queue.extend(operations)
 
+    # -- elastic lane operations (migration / admission / eviction) ----------
+
+    def set_assignment(self, shards: Sequence[Tuple[int, Sequence[str]]]) -> None:
+        """Adopt this epoch's shard→feed assignment (elastic mode re-plans
+        every epoch, so the pinning is per-order, not per-run)."""
+        for _, feed_ids in shards:
+            for feed_id in feed_ids:
+                if feed_id not in self.env.queues:
+                    raise WireError(
+                        f"epoch assignment names feed {feed_id!r}, which this "
+                        "lane does not host — the engine's migration "
+                        "bookkeeping is broken"
+                    )
+        self.shards = [(index, list(feed_ids)) for index, feed_ids in shards]
+
+    def install_feed(self, spec: FeedSpec, frame: WireFrame) -> None:
+        """Create the feed from ``spec`` (preload stripped) and restore its
+        state from a snapshot frame (fresh decode channel per frame)."""
+        snapshot = decode_feed_snapshot(WireDecoder(), frame)
+        if spec.feed_id != snapshot.feed_id:
+            raise WireError(
+                f"install order pairs spec {spec.feed_id!r} with a snapshot "
+                f"of {snapshot.feed_id!r}"
+            )
+        handle = self.registry.create_feed(spec)
+        install_feed_snapshot(handle, snapshot)
+        feed_id = snapshot.feed_id
+        self.env.queues[feed_id] = deque(snapshot.queue)
+        self.env.dirty[feed_id] = set(snapshot.dirty)
+        self.env.feeds[feed_id] = snapshot.telemetry
+        cache = self.env.cache
+        if cache is not None:
+            cache.ensure_shard(feed_id)
+            if snapshot.cache_stats is not None:
+                cache.install_shard(
+                    feed_id, snapshot.cache_entries, snapshot.cache_stats
+                )
+        # Every installed feed's store baseline is *empty*: the lane never
+        # saw the main mirror's seed state, so the run-end delta ships the
+        # whole store and the main side resets before applying.
+        self._store_baseline[feed_id] = ({}, 0, [])
+        self._installed.add(feed_id)
+
+    def migrate_out(self, feed_id: str) -> WireFrame:
+        """Snapshot the feed, release its resources, and return the frame.
+
+        Closes an LSM-backed store's directory *before* returning, so by the
+        time the destination lane's install order runs, the single-opener
+        lock is free.
+        """
+        handle = self.registry.get(feed_id)
+        cache = self.env.cache
+        if cache is not None:
+            shard_obj = cache._shards.get(feed_id)
+            entries = tuple(shard_obj.entries.items()) if shard_obj else ()
+            stats = shard_obj.stats if shard_obj else CacheStats()
+        else:
+            entries, stats = (), None
+        frame = encode_feed_snapshot(
+            WireEncoder(),
+            handle,
+            queue=self.env.queues[feed_id],
+            dirty=self.env.dirty[feed_id],
+            telemetry=self.env.feeds[feed_id],
+            cache_entries=entries,
+            cache_stats=stats,
+        )
+        backing = handle.system.sp_store.backing
+        if isinstance(backing, LSMStore):
+            backing.close()
+        self.registry.remove_feed(feed_id)
+        del self.env.queues[feed_id]
+        del self.env.dirty[feed_id]
+        del self.env.feeds[feed_id]
+        if cache is not None:
+            cache.invalidate_feed(feed_id)
+        self._store_baseline.pop(feed_id, None)
+        self._installed.discard(feed_id)
+        self.shards = [
+            (index, [fid for fid in feed_ids if fid != feed_id])
+            for index, feed_ids in self.shards
+        ]
+        return frame
+
+    def teardown_feed(self, feed_id: str, epoch: int) -> FeedTelemetry:
+        """Evict the feed from this lane, returning its final telemetry row.
+
+        Mirrors the serial eviction boundary: one watchdog poll routes the
+        lane chain's unconsumed request events to their SPs' pending lists
+        (all of this lane's feeds — other lanes route theirs at their next
+        epoch's poll, with identical per-feed content), then the departing
+        feed's pending requests and queued operations are cancelled and
+        counted on its bill.
+        """
+        self.registry.watchdog.poll()
+        handle = self.registry.get(feed_id)
+        telemetry = self.env.feeds.pop(feed_id)
+        telemetry.cancelled_requests += self.registry.watchdog.cancel_pending(handle)
+        queue = self.env.queues.pop(feed_id, None)
+        if queue:
+            telemetry.cancelled_ops += len(queue)
+        telemetry.departed_epoch = epoch
+        backing = handle.system.sp_store.backing
+        if isinstance(backing, LSMStore):
+            backing.close()
+        self.registry.remove_feed(feed_id)
+        self.env.dirty.pop(feed_id, None)
+        if self.env.cache is not None:
+            self.env.cache.invalidate_feed(feed_id)
+        self._store_baseline.pop(feed_id, None)
+        self._installed.discard(feed_id)
+        self.shards = [
+            (index, [fid for fid in feed_ids if fid != feed_id])
+            for index, feed_ids in self.shards
+        ]
+        return telemetry
+
     def run_epoch(self, epoch: int, epoch_size: int) -> LaneEpochEnvelope:
         env = self.env
         chain = self.registry.chain
@@ -1121,8 +1600,9 @@ class _LaneWorker:
         for shard_index, shard in self.shards:
             span = tracer.detached("shard", phase="settle", shard=shard_index)
             summaries = next(s for i, _, _, s in drives if i == shard_index)
+            epoch_gas: Dict[str, int] = {}
             for feed_id in shard:
-                settle_feed_epoch(
+                epoch_gas[feed_id] = settle_feed_epoch(
                     env,
                     feed_id,
                     summaries[feed_id],
@@ -1139,6 +1619,7 @@ class _LaneWorker:
                     deliver=delivers[shard_index],
                     update=updates[shard_index],
                     remaining={feed_id: len(env.queues[feed_id]) for feed_id in shard},
+                    epoch_gas=epoch_gas,
                     spans=tuple(wire_spans[shard_index]),
                 )
             )
@@ -1232,12 +1713,14 @@ class _LaneWorker:
                 handle = self.registry.get(feed_id)
                 manager_attrs, manager_slots = _contract_state(handle.storage_manager)
                 consumer_attrs, consumer_slots = _contract_state(handle.consumer)
-                # Process mode admits only memory-backed SP stores (the
-                # scheduler rejects everything else at start), and a memory
-                # store's state is plain data — always picklable.
                 sp_store_state: Optional[dict] = self._pack_store(
                     feed_id, handle.system.sp_store
                 )
+                # Hand an LSM directory back to the main process: it reopens
+                # the feed's own (closed) backing before applying this state.
+                backing = handle.system.sp_store.backing
+                if isinstance(backing, LSMStore):
+                    backing.close()
                 if cache is not None:
                     shard_obj = cache._shards.get(feed_id)
                     entries = tuple(shard_obj.entries.items()) if shard_obj else ()
@@ -1260,6 +1743,7 @@ class _LaneWorker:
                         sp_records_delivered=handle.service_provider.records_delivered,
                         cache_entries=entries,
                         cache_stats=stats,
+                        store_reset=feed_id in self._installed,
                     )
                 )
         return results
@@ -1331,6 +1815,41 @@ def _lane_live_epoch(
 def _lane_collect() -> List[FeedStateResult]:
     assert _LANE_WORKER is not None, "lane worker not started"
     return _LANE_WORKER.collect()
+
+
+def _lane_install(spec: FeedSpec, frame: WireFrame) -> None:
+    """Install one feed into this lane from a snapshot frame."""
+    assert _LANE_WORKER is not None, "lane worker not started"
+    _LANE_WORKER.install_feed(spec, frame)
+
+
+def _lane_migrate_out(feed_id: str) -> WireFrame:
+    """Snapshot one feed out of this lane (release its resources)."""
+    assert _LANE_WORKER is not None, "lane worker not started"
+    return _LANE_WORKER.migrate_out(feed_id)
+
+
+def _lane_teardown(feed_id: str, epoch: int) -> FeedTelemetry:
+    """Evict one feed from this lane; returns its final telemetry row."""
+    assert _LANE_WORKER is not None, "lane worker not started"
+    return _LANE_WORKER.teardown_feed(feed_id, epoch)
+
+
+def _lane_elastic_epoch(
+    epoch: int,
+    epoch_size: int,
+    shards: Sequence[Tuple[int, Sequence[str]]],
+    arrivals_frame: Optional[WireFrame],
+) -> List[LaneEpochEnvelope]:
+    """Run one elastic epoch: adopt this epoch's shard assignment, ingest
+    the boundary's arrivals, then drive the epoch.  Elastic runs are
+    lockstep — the next plan needs this epoch's observed gas — so each
+    order carries exactly one epoch."""
+    assert _LANE_WORKER is not None, "lane worker not started"
+    _LANE_WORKER.set_assignment(shards)
+    if arrivals_frame is not None:
+        _LANE_WORKER.ingest(arrivals_frame)
+    return [_LANE_WORKER.run_epoch(epoch, epoch_size)]
 
 
 # ---------------------------------------------------------------------------
@@ -1631,11 +2150,248 @@ class ProcessEngine:
         return results
 
     def shutdown(self) -> None:
+        # wait=True: lanes are idle here (results already merged), and an
+        # unwaited shutdown races the interpreter-exit wakeup of the pool's
+        # management thread ("Exception ignored ... Bad file descriptor").
         for pool in self._pools:
-            pool.shutdown(wait=False, cancel_futures=True)
+            pool.shutdown(wait=True, cancel_futures=True)
         self._pools = []
         self._pending = []
         self._decoders = []
+
+
+class _ElasticLane:
+    """One live elastic lane: its single-worker pool, the persistent decoder
+    for its epoch-result channel, and its in-flight one-epoch orders."""
+
+    __slots__ = ("pool", "decoder", "pending")
+
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self.pool = pool
+        self.decoder = WireDecoder()
+        self.pending: Deque[_PendingBatch] = deque()
+
+
+class ElasticProcessEngine:
+    """Process backend with feed mobility: lanes are spawned empty and feeds
+    move between them as snapshot frames.
+
+    Where :class:`ProcessEngine` pins shards to lanes for the run and seeds
+    each lane's mirrors at startup, this engine starts every lane **empty**
+    and installs each feed — initial placement, admissions, and per-epoch
+    re-shard moves alike — through :func:`encode_feed_snapshot` frames.  One
+    mechanism covers the whole feed lifecycle:
+
+    * ``install``: main encodes a feed's mirror and a lane adopts it;
+    * ``migrate``: a source lane snapshots a feed out (closing any exclusive
+      LSM directory opener) and a destination lane adopts the frame — the
+      frame passes *through* the main process raw, never decoded there;
+    * ``teardown``: an eviction order; the lane returns the feed's final
+      telemetry row (poll + cancel accounting identical to a serial boundary);
+    * ``ensure_lanes`` / ``retire_lanes``: the pool grows to the plan's lane
+      count and shrinks once a drained lane hosts nothing.
+
+    Epochs are lockstep one-epoch orders (the next plan depends on this
+    epoch's observed gas), each carrying the lane's shard assignment for the
+    epoch — the pinned-shard invariant of the static engine does not exist
+    here.
+    """
+
+    def __init__(self, max_lanes: int, *, ipc_profile: bool = False) -> None:
+        if max_lanes <= 0:
+            raise ConfigurationError("process backend needs at least one lane")
+        self.max_lanes = max_lanes
+        self.ipc_profile = ipc_profile
+        self.meter = IpcMeter()
+        self._lanes: Dict[int, _ElasticLane] = {}
+        self._template: Optional[LaneConfig] = None
+        #: epoch → the sorted lane ids that received that epoch's order.
+        self._participants: Dict[int, List[int]] = {}
+        #: shard index → lane, for the *latest* submitted epoch (span labels).
+        self._shard_lane: Dict[int, int] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(
+        self,
+        registry: FeedRegistry,
+        *,
+        cache_enabled: bool,
+        cache_capacity: Optional[int],
+        obs_enabled: bool = False,
+    ) -> None:
+        """Capture the empty-lane template.  No lanes spawn here —
+        :meth:`ensure_lanes` spawns them as the plan demands."""
+        self._template = LaneConfig(
+            schedule=registry.schedule,
+            parameters=registry.parameters,
+            router_address=registry.router.address,
+            cache_enabled=cache_enabled,
+            cache_capacity=cache_capacity,
+            shards={},
+            seed_frame=encode_lane_seed(WireEncoder(), []),
+            obs_enabled=obs_enabled,
+            ipc_profile=self.ipc_profile,
+        )
+
+    def ensure_lanes(self, count: int) -> List[int]:
+        """Spawn empty lanes until lanes ``0..count-1`` are all live;
+        returns the lane ids spawned by this call."""
+        assert self._template is not None, "engine not started"
+        spawned: List[int] = []
+        for lane in range(count):
+            if lane in self._lanes:
+                continue
+            pool = ProcessPoolExecutor(max_workers=1)
+            try:
+                pool.submit(_lane_start, self._template).result()
+            except Exception:
+                pool.shutdown(wait=False, cancel_futures=True)
+                self.shutdown()
+                raise
+            self._lanes[lane] = _ElasticLane(pool)
+            self.meter.lane_spawns += 1
+            spawned.append(lane)
+        return spawned
+
+    def retire_lanes(self, keep: int) -> List[int]:
+        """Shut down every lane with index ``>= keep``.  The caller must have
+        drained them first (migrated every hosted feed away)."""
+        retired = sorted(lane for lane in self._lanes if lane >= keep)
+        for lane in retired:
+            # wait=True: the lane is drained and idle, and an unwaited
+            # shutdown races the interpreter-exit wakeup of the pool's
+            # management thread.
+            self._lanes.pop(lane).pool.shutdown(wait=True, cancel_futures=True)
+            self.meter.lane_retirements += 1
+        return retired
+
+    # -- feed lifecycle ------------------------------------------------------
+
+    def install(self, lane: int, spec: FeedSpec, frame: WireFrame) -> None:
+        """Install a main-encoded feed snapshot into ``lane`` (blocking)."""
+        if spec.preload is not None:
+            spec = replace(spec, preload=None)
+        self._lanes[lane].pool.submit(_lane_install, spec, frame).result()
+        self.meter.record_install(frame.nbytes)
+
+    def migrate(self, feed_id: str, source: int, destination: int, spec: FeedSpec) -> int:
+        """Move one feed between lanes; returns the snapshot frame's bytes.
+
+        Blocking and strictly ordered: the source's ``migrate_out`` resolves
+        (its LSM opener closed, its mirror released) before the destination's
+        install is even submitted.
+        """
+        frame = (
+            self._lanes[source].pool.submit(_lane_migrate_out, feed_id).result()
+        )
+        if spec.preload is not None:
+            spec = replace(spec, preload=None)
+        self._lanes[destination].pool.submit(_lane_install, spec, frame).result()
+        self.meter.record_migration(frame.nbytes)
+        return frame.nbytes
+
+    def teardown(self, lane: int, feed_id: str, epoch: int) -> FeedTelemetry:
+        """Evict one feed from its lane; returns its final telemetry row."""
+        return self._lanes[lane].pool.submit(_lane_teardown, feed_id, epoch).result()
+
+    # -- lockstep epochs -----------------------------------------------------
+
+    def submit_epoch(
+        self,
+        epoch: int,
+        epoch_size: int,
+        assignments: Mapping[int, Sequence[Tuple[int, Sequence[str]]]],
+        arrivals_by_lane: Mapping[int, Sequence[Tuple[str, Sequence[Operation]]]],
+    ) -> None:
+        """Queue one epoch on every assigned lane, shipping each lane its
+        ``(shard_index, feed_ids)`` list for the epoch plus its slice of the
+        boundary's arrivals (returns immediately)."""
+        participants = sorted(assignments)
+        self._participants[epoch] = participants
+        self._shard_lane = {
+            shard_index: lane
+            for lane in participants
+            for shard_index, _ in assignments[lane]
+        }
+        for lane in participants:
+            items = list(arrivals_by_lane.get(lane, ()))
+            frame = encode_lane_arrivals(WireEncoder(), items) if items else None
+            entry = self._lanes[lane]
+            entry.pending.append(
+                _PendingBatch(
+                    entry.pool.submit(
+                        _lane_elastic_epoch,
+                        epoch,
+                        epoch_size,
+                        [
+                            (shard_index, list(feed_ids))
+                            for shard_index, feed_ids in assignments[lane]
+                        ],
+                        frame,
+                    ),
+                    epoch,
+                    1,
+                )
+            )
+
+    @property
+    def lane_of(self) -> Dict[int, int]:
+        """shard index → lane, for the latest submitted epoch (span labels)."""
+        return dict(self._shard_lane)
+
+    def results(self, epoch: int) -> Tuple[List[ShardEpochResult], List[IpcSample]]:
+        """Wait for — and decode — every participating lane's frame for
+        ``epoch``, in fixed shard order (same contract as the static
+        engine's :meth:`ProcessEngine.results`)."""
+        results: List[ShardEpochResult] = []
+        samples: List[IpcSample] = []
+        for lane in self._participants.pop(epoch):
+            entry = self._lanes[lane]
+            batch = entry.pending.popleft()
+            envelopes = batch.future.result()
+            envelope: LaneEpochEnvelope = envelopes[0]
+            started = time.perf_counter()
+            frame_epoch, lane_results = decode_lane_epoch(entry.decoder, envelope.frame)
+            decode_seconds = time.perf_counter() - started
+            if frame_epoch != epoch:
+                raise WireError(
+                    f"lane {lane} frame is for epoch {frame_epoch}, expected "
+                    f"{epoch}; lane frames must be decoded in submission order"
+                )
+            samples.append(
+                IpcSample(
+                    lane=lane,
+                    epoch=epoch,
+                    wire_bytes=envelope.frame.nbytes,
+                    encode_seconds=envelope.encode_seconds,
+                    decode_seconds=decode_seconds,
+                    legacy_pickle_bytes=envelope.legacy_pickle_bytes,
+                )
+            )
+            results.extend(lane_results)
+        results.sort(key=lambda result: result.shard_index)
+        self.meter.record(samples)
+        return results, samples
+
+    def collect(self) -> List[FeedStateResult]:
+        """Fetch every live lane's final feed state (run end)."""
+        futures = [
+            self._lanes[lane].pool.submit(_lane_collect)
+            for lane in sorted(self._lanes)
+        ]
+        results: List[FeedStateResult] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def shutdown(self) -> None:
+        # wait=True for the same reason as the pipelined engine's shutdown:
+        # lanes are idle by now, and unwaited pools race interpreter exit.
+        for entry in self._lanes.values():
+            entry.pool.shutdown(wait=True, cancel_futures=True)
+        self._lanes = {}
+        self._participants = {}
 
 
 def apply_feed_state(
@@ -1657,6 +2413,11 @@ def apply_feed_state(
     _apply_contract_state(handle.consumer, state.consumer_attrs, state.consumer_slots)
     handle.report.__dict__.update(state.report.__dict__)
     if state.sp_store_state is not None:
+        if state.store_reset:
+            # The lane's baseline was an empty store (snapshot-installed
+            # feed): the shipped delta is the whole store, so the mirror's
+            # seed state must go first — patching it would leave ghosts.
+            _reset_store(handle.system.sp_store)
         _apply_store_delta(handle.system.sp_store, state.sp_store_state)
     handle.data_owner.trusted_root = state.do_trusted_root
     handle.data_owner.epochs_submitted = state.do_epochs_submitted
@@ -1664,6 +2425,26 @@ def apply_feed_state(
     handle.service_provider.records_delivered = state.sp_records_delivered
     if cache is not None and state.cache_stats is not None:
         cache.install_shard(state.feed_id, state.cache_entries, state.cache_stats)
+
+
+def _reset_store(store) -> None:
+    """Empty a main-side SP store mirror before a full-from-empty apply.
+
+    Clears the wrapper's structures and removes its stale records from the
+    backing (idempotent against a backing that already holds the lane's
+    final contents — the apply re-puts every live record's value).
+    """
+    from repro.ads.merkle import MerkleTree
+
+    for record in store._records.values():
+        store.backing.delete(record.prefixed_key)
+    store._records = {}
+    store._slot_of = {}
+    store._slots = []
+    store._free_slots = []
+    store._sorted_keys = []
+    store._replicated_keys = set()
+    store._tree = MerkleTree([])
 
 
 def _apply_store_delta(store, delta: dict) -> None:
@@ -1703,6 +2484,14 @@ def _apply_store_delta(store, delta: dict) -> None:
     count = delta["leaf_count"]
     if len(leaves) < count:
         leaves.extend([EMPTY_DIGEST] * (count - len(leaves)))
+    if layout[0] == "full":
+        # A slot without a key was freed by a delete at some point; its leaf
+        # is the tombstone digest.  The changed-record list cannot carry
+        # these (no record remains), and a full-from-empty apply
+        # (``store_reset``) has no seed-time tombstones to inherit.
+        for slot, key in enumerate(store._slots):
+            if key is None:
+                leaves[slot] = TOMBSTONE_LEAF
     membership_changed = bool(delta["deleted"])
     backing = store.backing
     replicated = store._replicated_keys

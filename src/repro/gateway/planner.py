@@ -104,12 +104,28 @@ class GasAwareShardPlanner(ShardPlanner):
         bootstrap_gas: estimate used for a feed with no history yet (a freshly
             admitted tenant); deliberately generous so new tenants start in
             roomy shards and earn denser packing as their history accrues.
+        migration_stickiness: migration-cost awareness.  In process mode a
+            feed that changes *shard* may also change *lane*, and moving a
+            lane means serialising the feed's whole mirror across the process
+            boundary.  Before the FFD pass places a feed, the packer first
+            tries the bin index the feed occupied in the previous plan and
+            keeps it there while that bin's load stays within
+            ``migration_stickiness × budget``.  ``1.0`` (default) makes
+            staying free whenever it fits the normal budget; values ``> 1``
+            tolerate a modest overshoot to avoid a move; ``0`` disables
+            stickiness (pure FFD, the pre-migration behaviour).  Stickiness
+            only consults the planner's own previous plan, so every execution
+            backend computes the identical plan sequence.
     """
 
     block_gas_fraction: float = 0.5
     ewma_alpha: float = 0.25
     bootstrap_gas: int = 250_000
+    migration_stickiness: float = 1.0
     _estimates: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: Bin index each feed occupied in the previous plan (the stickiness
+    #: anchor); dropped on :meth:`forget`.
+    _previous_bins: Dict[str, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.block_gas_fraction <= 1.0:
@@ -118,6 +134,8 @@ class GasAwareShardPlanner(ShardPlanner):
             raise ConfigurationError("ewma_alpha must be in (0, 1]")
         if self.bootstrap_gas <= 0:
             raise ConfigurationError("bootstrap_gas must be positive")
+        if self.migration_stickiness < 0.0:
+            raise ConfigurationError("migration_stickiness must be >= 0")
 
     def estimate(self, feed_id: str) -> float:
         """The feed's current per-epoch gas estimate (bootstrap if unseen)."""
@@ -136,11 +154,14 @@ class GasAwareShardPlanner(ShardPlanner):
 
     def forget(self, feed_id: str) -> None:
         self._estimates.pop(feed_id, None)
+        self._previous_bins.pop(feed_id, None)
 
     def plan(self, feed_ids: Sequence[str], *, block_gas_limit: int) -> List[List[str]]:
         if not feed_ids:
             return []
         budget = self.block_gas_fraction * block_gas_limit
+        sticky_budget = budget * self.migration_stickiness
+        previous_bins = self._previous_bins
         # Heaviest feeds first (feed id breaks ties) — the classic FFD
         # ordering, which keeps the shard count near optimal.
         ranked = sorted(feed_ids, key=lambda feed_id: (-self.estimate(feed_id), feed_id))
@@ -148,6 +169,19 @@ class GasAwareShardPlanner(ShardPlanner):
         loads: List[float] = []
         for feed_id in ranked:
             estimate = self.estimate(feed_id)
+            # Stickiness: keep the feed in last plan's bin while that bin's
+            # load stays within the (possibly relaxed) sticky budget, so a
+            # process-mode fleet doesn't thrash mirrors between lanes.
+            previous = previous_bins.get(feed_id)
+            if (
+                previous is not None
+                and self.migration_stickiness > 0.0
+                and previous < len(shards)
+                and loads[previous] + estimate <= sticky_budget
+            ):
+                shards[previous].append(feed_id)
+                loads[previous] += estimate
+                continue
             for index in range(len(shards)):
                 if loads[index] + estimate <= budget:
                     shards[index].append(feed_id)
@@ -159,6 +193,9 @@ class GasAwareShardPlanner(ShardPlanner):
                 # estimate overstates the actual settlement transaction.
                 shards.append([feed_id])
                 loads.append(estimate)
+        self._previous_bins = {
+            feed_id: index for index, shard in enumerate(shards) for feed_id in shard
+        }
         obs = self.obs
         if obs is not None:
             obs.counter("planner_plans_total").inc()

@@ -84,11 +84,17 @@ class FeedSpec:
             )
 
     def build_store_backing(self) -> Optional[KVStore]:
-        """The SP-store backing this spec selects (``None`` = the default)."""
+        """The SP-store backing this spec selects (``None`` = the default).
+
+        Directory-backed LSM stores open *exclusively*: a feed's directory has
+        exactly one live opener, which is what makes migrating the feed
+        between process lanes safe — the source side must ``close()`` before
+        the destination side opens the same directory.
+        """
         if self.store_backend == "memory":
             return None
         directory = Path(self.store_directory) if self.store_directory is not None else None
-        return LSMStore(directory=directory)
+        return LSMStore(directory=directory, exclusive=True)
 
 
 @dataclass

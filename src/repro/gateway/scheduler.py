@@ -66,8 +66,13 @@ serial run — which executes the very same phase code, shared through
 :mod:`repro.gateway.executor`.  Churn processing and shard planning happen
 on the main thread between epochs, from deterministic inputs, so the
 guarantee extends to elastic runs (pinned by
-``tests/gateway/test_elastic_properties.py``; the process backend requires a
-static fleet and plan, and rejects anything else loudly).
+``tests/gateway/test_elastic_properties.py`` over all three backends).  A
+static process run — fixed fleet, round-robin plan, memory-backed stores —
+keeps the pinned, pipelined :class:`~repro.gateway.executor.ProcessEngine`;
+anything else (queued churn, a re-sharding gas-aware plan, LSM-backed SP
+stores) routes to the :class:`~repro.gateway.executor.ElasticProcessEngine`,
+which moves feeds between worker lanes as wire-encoded snapshot frames at
+epoch boundaries and grows/shrinks the lane pool with the plan.
 
 Reads are fronted by the consumer-side :class:`~repro.gateway.cache.ReadCache`
 when one is configured: a read of a key whose verified replica the gateway has
@@ -109,10 +114,12 @@ from repro.chain.gas import LAYER_APPLICATION, LAYER_FEED
 from repro.chain.transaction import Transaction
 from repro.common.errors import ConfigurationError, ReproError
 from repro.common.types import EpochSummary, Operation, ReplicationState
-from repro.gateway.cache import ReadCache
+from repro.common.wire import WireEncoder
+from repro.gateway.cache import CacheStats, ReadCache
 from repro.gateway.executor import (
     EXECUTION_MODES,
     GATEWAY_OPERATOR,
+    ElasticProcessEngine,
     ProcessEngine,
     SettlementResult,
     ShardEnvironment,
@@ -120,6 +127,7 @@ from repro.gateway.executor import (
     build_deliver_groups,
     deliver_transaction,
     drive_shard,
+    encode_feed_snapshot,
     prepare_update_groups,
     settle_feed_epoch,
     settlement_buffer,
@@ -916,11 +924,12 @@ class EpochScheduler:
         transactions — which the main chain records in fixed shard order.
         Output is bit-identical to the serial backend.
 
-        Constraints (checked loudly rather than silently diverging): a static
-        fleet (no queued churn — shard pinning cannot follow tenants between
-        processes), a stable shard plan (the round-robin planner; a gas-aware
-        plan re-shards between epochs), and memory-backed SP stores (two
-        processes must never open one LSM directory).
+        Runs the static pinning can't serve — queued churn (tenants join and
+        leave lanes mid-run), a re-sharding planner (a feed's shard, hence
+        its lane, moves between epochs), or LSM-backed SP stores (a feed's
+        directory must follow it between processes) — route to
+        :meth:`_run_process_elastic`, where feeds migrate between lanes as
+        snapshot frames.
 
         With a live ``source`` the run is **lockstep** instead of pipelined:
         an epoch's arrivals must reach each lane's worker-local queues before
@@ -929,29 +938,20 @@ class EpochScheduler:
         (:meth:`ProcessEngine.submit_live_epoch`).  Determinism over
         pipelining — the batch path keeps its submit-ahead throughput.
         """
-        if self.pending_churn:
-            raise ConfigurationError(
-                "execution_mode='process' pins feeds to worker processes for "
-                "the whole run; admissions/evictions need the serial or "
-                "thread backend"
-            )
-        if not isinstance(self.planner, RoundRobinPlanner):
-            raise ConfigurationError(
-                "execution_mode='process' requires a stable shard plan; the "
-                f"configured planner ({type(self.planner).__name__}) may "
-                "re-shard between epochs, which would move feeds between "
-                "worker processes mid-run"
-            )
         queues, epoch_size, active, fleet = self._prepare_run(
             workloads, source=source
         )
-        for feed_id in active:
-            if self.registry.get(feed_id).spec.store_backend != "memory":
-                raise ConfigurationError(
-                    f"feed {feed_id!r}: execution_mode='process' requires "
-                    "memory-backed SP stores (a persistent store directory "
-                    "cannot be opened by two processes at once)"
-                )
+        if (
+            self.pending_churn
+            or not isinstance(self.planner, RoundRobinPlanner)
+            or any(
+                self.registry.get(feed_id).spec.store_backend != "memory"
+                for feed_id in active
+            )
+        ):
+            return self._run_process_elastic(
+                queues, epoch_size, active, fleet, source=source
+            )
         chain = self.registry.chain
         blocks_before = chain.height
         wall_start = time.perf_counter()
@@ -1034,11 +1034,11 @@ class EpochScheduler:
 
     def _merge_lane_epoch(
         self,
-        engine: ProcessEngine,
+        engine,
         epoch: int,
         fleet: FleetTelemetry,
         remaining: Dict[str, int],
-    ) -> None:
+    ) -> List:
         """Merge one submitted epoch's lane results into the main chain.
 
         Deterministic merge, mirroring the serial phase order: every shard's
@@ -1048,7 +1048,9 @@ class EpochScheduler:
         this epoch in fixed shard order, before the merge span, so the trace
         tree reads in canonical phase order.  ``remaining`` is updated with
         the lanes' post-epoch queue depths (run termination, and the live
-        path's executed-count attribution).
+        path's executed-count attribution).  Returns the decoded shard
+        results in shard order (the elastic path reads each shard's settled
+        per-feed gas off them; either engine flavour works).
         """
         chain = self.registry.chain
         with self.obs.span("epoch", epoch=epoch) as epoch_span:
@@ -1067,6 +1069,7 @@ class EpochScheduler:
         self._observe_ipc(samples)
         for result in results:
             remaining.update(result.remaining)
+        return results
 
     def _run_process_live(
         self,
@@ -1165,6 +1168,383 @@ class EpochScheduler:
         fleet.ipc = engine.meter.summary()
         self.epochs_run += epoch
         return fleet
+
+    # -- the elastic process backend (feed migration) --------------------------
+
+    def _run_process_elastic(
+        self,
+        queues: Dict[str, Deque[Operation]],
+        epoch_size: int,
+        active: List[str],
+        fleet: FleetTelemetry,
+        source: Optional["RequestSource"] = None,
+    ) -> FleetTelemetry:
+        """The full-feature process backend: churn, gas-aware re-sharding and
+        LSM-backed stores over an elastic pool of worker lanes.
+
+        Mirrors the serial loop boundary for boundary — churn, live ingest,
+        fast-forward, per-epoch plan — but executes each epoch on
+        :class:`~repro.gateway.executor.ElasticProcessEngine` lanes.  Lanes
+        start empty; every feed reaches its lane as a wire-encoded snapshot
+        frame (:func:`~repro.gateway.executor.encode_feed_snapshot`):
+
+        * **initial placement / admission** — the main process creates the
+          feed (running its preload against the main chain, exactly like
+          serial), then serialises the mirror into the lane the plan assigns
+          and releases any exclusive LSM opener so the lane can take the
+          directory over;
+        * **re-shard migration** — when a fresh plan moves a feed to a
+          different lane, the source lane snapshots it out (closing its LSM
+          opener first) and the destination installs the frame, which passes
+          through the main process raw;
+        * **eviction** — the owning lane polls, cancels and counts exactly
+          like a serial churn boundary and returns the tenant's final bill;
+        * **elasticity** — the pool grows to the plan's lane demand
+          (``min(num_workers, shards)``) and retires drained lanes once the
+          demand shrinks.
+
+        Epochs are lockstep (the next plan depends on this epoch's settled
+        gas, shipped per feed on each shard result), so the planner and a
+        live source observe byte-identical sequences to serial.  Migration
+        traffic is metered per run (``FleetTelemetry.ipc``) and per epoch
+        (the ``migrations_per_epoch`` histogram) — never fingerprinted.
+        """
+        chain = self.registry.chain
+        blocks_before = chain.height
+        wall_start = time.perf_counter()
+
+        self._dirty = {feed_id: set() for feed_id in active}
+        if self.cache is not None:
+            for feed_id in active:
+                self.cache.ensure_shard(feed_id)
+        for feed_id in active:
+            self._wire_feed_obs(feed_id)
+
+        engine = ElasticProcessEngine(self.num_workers, ipc_profile=self.ipc_profile)
+        #: Feeds the main process still hosts (created, but not yet installed
+        #: into any lane): initial feeds before their first executed epoch,
+        #: and admissions awaiting their first plan.
+        pending_install = set(active)
+        #: feed id → the lane currently hosting its mirror.
+        feed_lane: Dict[str, int] = {}
+        remaining = {feed_id: len(queues[feed_id]) for feed_id in active}
+        epoch = 0
+        try:
+            engine.start(
+                self.registry,
+                cache_enabled=self.cache is not None,
+                cache_capacity=self.cache.capacity if self.cache is not None else None,
+                obs_enabled=self.obs.enabled,
+            )
+            with self.obs.span("run", mode="process"):
+                while True:
+                    self._apply_churn_process(
+                        epoch, active, queues, remaining, fleet,
+                        engine, pending_install, feed_lane, source,
+                    )
+                    arrivals_installed: Dict[str, Sequence[Operation]] = {}
+                    if source is not None:
+                        idle = not self.pending_churn and not any(
+                            remaining[f] for f in active
+                        )
+                        arrivals_installed = self._ingest_process(
+                            source.poll(epoch, wait=idle),
+                            queues,
+                            remaining,
+                            pending_install,
+                        )
+                    has_work = any(remaining[f] for f in active)
+                    door_open = source is not None and not source.exhausted
+                    if not self.pending_churn and not has_work and not door_open:
+                        break
+                    if not has_work:
+                        # Same fast-forward as the serial loop: jump to the
+                        # next churn event or scheduled live arrival.
+                        targets = []
+                        if self.pending_churn:
+                            targets.append(self._next_churn_epoch())
+                        if door_open:
+                            scheduled = source.next_epoch(epoch)
+                            if scheduled is not None:
+                                targets.append(scheduled)
+                        epoch = (
+                            max(epoch + 1, min(targets)) if targets else epoch + 1
+                        )
+                        continue
+                    shard_plan = self.planner.plan(
+                        active, block_gas_limit=chain.parameters.block_gas_limit
+                    )
+                    fleet.rosters.append((epoch, sorted(active)))
+                    fleet.shards_per_epoch.append(len(shard_plan))
+                    # Elasticity: lanes 0..desired-1 serve this epoch; spawn
+                    # what's missing now, retire the surplus once drained.
+                    desired = max(1, min(self.num_workers, len(shard_plan)))
+                    spawned = engine.ensure_lanes(desired)
+                    assignments: Dict[int, List[Tuple[int, List[str]]]] = {}
+                    migrations = 0
+                    for shard_index, shard in enumerate(shard_plan):
+                        lane = shard_index % desired
+                        assignments.setdefault(lane, []).append(
+                            (shard_index, list(shard))
+                        )
+                        for feed_id in shard:
+                            if feed_id in pending_install:
+                                self._install_feed(engine, lane, feed_id, queues, fleet)
+                                pending_install.discard(feed_id)
+                                feed_lane[feed_id] = lane
+                            elif feed_lane[feed_id] != lane:
+                                engine.migrate(
+                                    feed_id,
+                                    feed_lane[feed_id],
+                                    lane,
+                                    self.registry.get(feed_id).spec,
+                                )
+                                feed_lane[feed_id] = lane
+                                migrations += 1
+                    retired = engine.retire_lanes(desired)
+                    self._observe_migrations(len(spawned), len(retired), migrations)
+                    arrivals_by_lane: Dict[int, List[Tuple[str, Sequence[Operation]]]] = {}
+                    for feed_id in sorted(arrivals_installed):
+                        arrivals_by_lane.setdefault(feed_lane[feed_id], []).append(
+                            (feed_id, arrivals_installed[feed_id])
+                        )
+                    queued_before = dict(remaining) if source is not None else None
+                    engine.submit_epoch(
+                        epoch, epoch_size, assignments, arrivals_by_lane
+                    )
+                    results = self._merge_lane_epoch(engine, epoch, fleet, remaining)
+                    epoch_gas: Dict[str, int] = {}
+                    for result in results:
+                        epoch_gas.update(result.epoch_gas)
+                    # Settle feedback in serial order: the planner's estimates
+                    # and a live source's per-request attribution both consume
+                    # the very gas each lane's settle phase computed.
+                    for feed_id in active:
+                        self.planner.observe(feed_id, epoch_gas[feed_id])
+                        if source is not None:
+                            executed = queued_before[feed_id] - remaining[feed_id]
+                            planned = min(queued_before[feed_id], epoch_size)
+                            source.settled(
+                                epoch,
+                                feed_id,
+                                executed=executed,
+                                deferred=planned - executed,
+                                gas=epoch_gas[feed_id],
+                            )
+                    epoch += 1
+            # Run over: every surviving lane feed's final state folds back
+            # into the main mirrors.  An LSM-backed feed's main opener was
+            # released when the feed left for its lane — take the directory
+            # back (the lane closed its opener in ``collect``).
+            for state in engine.collect():
+                backing = self.registry.get(state.feed_id).system.sp_store.backing
+                if isinstance(backing, LSMStore) and backing.closed:
+                    backing.reopen()
+                apply_feed_state(self.registry, self.cache, state)
+                fleet.feeds[state.feed_id] = state.telemetry
+        finally:
+            engine.shutdown()
+            if source is not None:
+                source.run_finished(fleet)
+
+        fleet.wall_seconds = time.perf_counter() - wall_start
+        fleet.epochs_run = epoch
+        fleet.blocks_mined = chain.height - blocks_before
+        fleet.ipc = engine.meter.summary()
+        self.epochs_run += epoch
+        return fleet
+
+    def _apply_churn_process(
+        self,
+        epoch: int,
+        active: List[str],
+        queues: Dict[str, Deque[Operation]],
+        remaining: Dict[str, int],
+        fleet: FleetTelemetry,
+        engine: ElasticProcessEngine,
+        pending_install: set,
+        feed_lane: Dict[str, int],
+        source: Optional["RequestSource"] = None,
+    ) -> None:
+        """:meth:`_apply_churn`, adapted to lane-hosted feeds.
+
+        Admissions are pure main-side (the feed is created — preload and all —
+        against the main chain exactly as serial does, and waits in
+        ``pending_install`` for its first plan).  An eviction of a lane-hosted
+        feed is a teardown order to the owning lane, whose boundary poll and
+        cancellation accounting mirror the serial ones; a still-main-hosted
+        feed is evicted with the serial accounting directly.  No main-side
+        watchdog poll happens here: the merged lane events were already routed
+        and consumed inside the lanes, so a main poll would stuff main-side
+        mirrors with requests that can never be delivered.
+        """
+        due_admissions = [a for a in self._admission_queue if a.at_epoch <= epoch]
+        for admission in due_admissions:
+            self._admission_queue.remove(admission)
+            spec = admission.spec
+            if spec.feed_id in fleet.feeds:
+                raise ConfigurationError(
+                    f"feed id {spec.feed_id!r} was already hosted in this run; "
+                    "ids are unique per run (reuse is allowed across runs)"
+                )
+            self._require_batch_deliver(spec)
+            self.registry.create_feed(spec)
+            self._wire_feed_obs(spec.feed_id)
+            queues[spec.feed_id] = deque(admission.operations)
+            remaining[spec.feed_id] = len(admission.operations)
+            active.append(spec.feed_id)
+            self._dirty[spec.feed_id] = set()
+            if self.cache is not None:
+                self.cache.ensure_shard(spec.feed_id)
+            fleet.feeds[spec.feed_id] = FeedTelemetry(
+                feed_id=spec.feed_id, admitted_epoch=epoch
+            )
+            fleet.admissions += 1
+            pending_install.add(spec.feed_id)
+        due_evictions = [e for e in self._eviction_queue if e.at_epoch <= epoch]
+        for eviction in due_evictions:
+            feed_id = eviction.feed_id
+            telemetry = fleet.feeds.get(feed_id)
+            if (telemetry is not None and telemetry.departed) or feed_id not in self.registry:
+                if any(a.spec.feed_id == feed_id for a in self._admission_queue):
+                    # The eviction outran its feed's admission; leave it
+                    # queued — it fires the boundary the feed arrives.
+                    continue
+                raise ConfigurationError(
+                    f"cannot evict {feed_id!r}: "
+                    + (
+                        "the feed already departed this run"
+                        if telemetry is not None and telemetry.departed
+                        else "not hosted by the gateway"
+                    )
+                )
+            self._eviction_queue.remove(eviction)
+            if telemetry is None:
+                # Registered but idle this run (no workload): still a real
+                # departure — it gets a (empty) final bill like any tenant.
+                telemetry = FeedTelemetry(feed_id=feed_id)
+                fleet.feeds[feed_id] = telemetry
+            if feed_id in feed_lane:
+                # Lane-hosted: the lane owns the live mirror — its boundary
+                # poll, request cancellation and queue counting happen there,
+                # and the returned row is the tenant's final bill.
+                fleet.feeds[feed_id] = engine.teardown(
+                    feed_lane.pop(feed_id), feed_id, epoch
+                )
+            else:
+                # Still main-hosted (admitted this very boundary, or never
+                # ran an epoch): serial accounting on the main structures.
+                # ``cancel_pending`` needs no poll first — the main chain's
+                # absorbed events were consumed inside the lanes already.
+                handle = self.registry.get(feed_id)
+                telemetry.cancelled_requests += self.registry.watchdog.cancel_pending(
+                    handle
+                )
+                queue = queues.get(feed_id)
+                if queue:
+                    telemetry.cancelled_ops += len(queue)
+                telemetry.departed_epoch = epoch
+                pending_install.discard(feed_id)
+            queues.pop(feed_id, None)
+            remaining.pop(feed_id, None)
+            if feed_id in active:
+                active.remove(feed_id)
+            fleet.departures += 1
+            self.planner.forget(feed_id)
+            self._dirty.pop(feed_id, None)
+            # Deregisters the watchdog route, frees the on-chain addresses and
+            # fires the removal listeners (cache shard teardown among them).
+            self.registry.remove_feed(feed_id)
+            if source is not None:
+                # A live source must cancel the tenant's outstanding requests
+                # now — their operations just left the queue for good.
+                source.evicted(epoch, feed_id)
+
+    def _ingest_process(
+        self,
+        arrivals: Mapping[str, Sequence[Operation]],
+        queues: Dict[str, Deque[Operation]],
+        remaining: Dict[str, int],
+        pending_install: set,
+    ) -> Dict[str, Sequence[Operation]]:
+        """Fold one boundary's live arrivals into the elastic fleet.
+
+        A feed the main process still hosts takes them straight onto its
+        queue (they ship inside its install snapshot); a lane-hosted feed's
+        arrivals are returned for shipping alongside the epoch order — the
+        elastic counterpart of :meth:`_ingest` / :meth:`_absorb_arrivals`.
+        """
+        shipped: Dict[str, Sequence[Operation]] = {}
+        for feed_id in sorted(arrivals):
+            operations = arrivals[feed_id]
+            if not operations:
+                continue
+            if feed_id not in remaining:
+                raise ConfigurationError(
+                    f"live request for feed {feed_id!r}, which the gateway "
+                    "does not currently host — the request source must "
+                    "reject unknown or departed tenants at admission"
+                )
+            remaining[feed_id] += len(operations)
+            if feed_id in pending_install:
+                queues[feed_id].extend(operations)
+            else:
+                shipped[feed_id] = operations
+        return shipped
+
+    def _install_feed(
+        self,
+        engine: ElasticProcessEngine,
+        lane: int,
+        feed_id: str,
+        queues: Dict[str, Deque[Operation]],
+        fleet: FleetTelemetry,
+    ) -> None:
+        """Ship a main-hosted feed's mirror into ``lane`` as a snapshot frame.
+
+        The main mirror stays registered (the merge path records settlements
+        against its addresses), but its queue empties — the lane's copy is
+        the live one now — and an exclusive LSM opener is released so the
+        lane can take over the directory (single-opener rule).
+        """
+        handle = self.registry.get(feed_id)
+        if self.cache is not None:
+            shard_obj = self.cache._shards.get(feed_id)
+            entries = tuple(shard_obj.entries.items()) if shard_obj else ()
+            stats = shard_obj.stats if shard_obj else CacheStats()
+        else:
+            entries, stats = (), None
+        frame = encode_feed_snapshot(
+            WireEncoder(),
+            handle,
+            queue=queues[feed_id],
+            dirty=self._dirty[feed_id],
+            telemetry=fleet.feeds[feed_id],
+            cache_entries=entries,
+            cache_stats=stats,
+        )
+        backing = handle.system.sp_store.backing
+        if isinstance(backing, LSMStore):
+            backing.close()
+        engine.install(lane, handle.spec, frame)
+        queues[feed_id].clear()
+
+    #: Migration-count histogram bounds (counts, not latencies).
+    _MIGRATION_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def _observe_migrations(self, spawned: int, retired: int, migrations: int) -> None:
+        """Record one epoch's feed-mobility activity on the obs plane."""
+        if not self.obs.enabled:
+            return
+        self.obs.histogram(
+            "migrations_per_epoch", buckets=self._MIGRATION_BUCKETS
+        ).observe(float(migrations))
+        if migrations:
+            self.obs.counter("migrations_total").inc(migrations)
+        if spawned:
+            self.obs.counter("lane_spawns_total").inc(spawned)
+        if retired:
+            self.obs.counter("lane_retirements_total").inc(retired)
 
     def _absorb_arrivals(
         self,

@@ -14,6 +14,7 @@ provider in the paper would use LevelDB for.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Tuple
@@ -45,9 +46,21 @@ class LSMStore(KVStore):
         self,
         directory: Optional[Path] = None,
         config: Optional[LSMConfig] = None,
+        *,
+        exclusive: bool = False,
     ) -> None:
         self.config = config or LSMConfig()
         self.directory = Path(directory) if directory is not None else None
+        #: Single-opener enforcement: an exclusive store holds a ``LOCK`` file
+        #: (containing its PID) in the directory for as long as it is open.  A
+        #: second exclusive opener fails loudly instead of interleaving WALs;
+        #: a lock whose holder is dead is stolen (crash recovery).  The feed
+        #: gateway opens every feed store exclusively, which is what makes
+        #: cross-process feed migration safe: the source lane must ``close()``
+        #: before the destination lane may open the same directory.
+        self.exclusive = exclusive
+        #: A closed store rejects mutations until :meth:`reopen`.
+        self.closed = False
         self.memtable = MemTable()
         self.sstables: List[SSTable] = []
         self.flushes = 0
@@ -57,6 +70,7 @@ class LSMStore(KVStore):
         )
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
+            self._acquire_lock()
             self._recover()
 
     # -- KVStore interface ----------------------------------------------------
@@ -74,11 +88,13 @@ class LSMStore(KVStore):
     def put(self, key: str, value: bytes) -> None:
         if not isinstance(value, bytes):
             raise StorageError(f"values must be bytes, got {type(value).__name__}")
+        self._check_open()
         self._log_wal("put", key, value)
         self.memtable.put(key, value)
         self._maybe_flush()
 
     def delete(self, key: str) -> bool:
+        self._check_open()
         existed = self.get(key) is not None
         self._log_wal("delete", key, None)
         self.memtable.delete(key)
@@ -168,6 +184,91 @@ class LSMStore(KVStore):
         if len(self.sstables) > self.config.max_sstables_before_compaction:
             self.compact()
 
+    # -- open/close lifecycle ----------------------------------------------------
+
+    def close(self) -> None:
+        """Flush, persist, and release this opener's claim on the directory.
+
+        After ``close()`` the directory can be opened by another store (in
+        this process or another one); this store rejects further mutations
+        until :meth:`reopen`.  Closing an already-closed store is a no-op.
+        """
+        if self.closed:
+            return
+        if not self.memtable.is_empty:
+            # Persists the memtable into an SSTable and truncates the WAL, so
+            # the next opener recovers from tables alone.
+            self.flush()
+        self._release_lock()
+        self.closed = True
+
+    def reopen(self) -> None:
+        """Re-open a closed store, re-reading the directory state from disk.
+
+        Used by the migration protocol: the main process closes a feed's LSM
+        backing while a worker lane owns the directory, then reopens it at run
+        end to fold the lane's final store contents back in.
+        """
+        if not self.closed:
+            raise StorageError("reopen() is only valid on a closed LSM store")
+        if self.directory is not None:
+            self._acquire_lock()
+            self.memtable = MemTable()
+            self.sstables = []
+            self._recover()
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise StorageError(
+                f"LSM store {self.directory or '<memory>'} is closed; "
+                "reopen() it before mutating"
+            )
+
+    def _lock_path(self) -> Optional[Path]:
+        if self.directory is None or not self.exclusive:
+            return None
+        return self.directory / "LOCK"
+
+    def _acquire_lock(self) -> None:
+        lock = self._lock_path()
+        if lock is None:
+            return
+        payload = str(os.getpid()).encode("ascii")
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    holder = int(lock.read_text().strip() or "0")
+                except (OSError, ValueError):
+                    holder = 0
+                if holder and _pid_alive(holder):
+                    raise StorageError(
+                        f"LSM directory {self.directory} is exclusively locked "
+                        f"by pid {holder}; close() the other opener first "
+                        "(a feed store has exactly one opener at a time)"
+                    )
+                # The holder is gone — steal the stale lock and retry.
+                try:
+                    lock.unlink()
+                except FileNotFoundError:
+                    pass
+                continue
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            return
+
+    def _release_lock(self) -> None:
+        lock = self._lock_path()
+        if lock is None:
+            return
+        try:
+            if int(lock.read_text().strip() or "0") == os.getpid():
+                lock.unlink()
+        except (OSError, ValueError):
+            pass
+
     # -- durability --------------------------------------------------------------
 
     def _log_wal(self, op: str, key: str, value: Optional[bytes]) -> None:
@@ -201,3 +302,16 @@ class LSMStore(KVStore):
                         self.memtable.put(entry["key"], bytes.fromhex(entry["value"]))
                     else:
                         self.memtable.delete(entry["key"])
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (EPERM still means alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - depends on host privileges
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True

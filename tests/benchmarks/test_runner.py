@@ -50,15 +50,13 @@ def test_expand_cells_canonicalizes_the_grid():
     cells = runner.expand_cells(spec)
     labels = {(c.workload, c.execution_mode, c.workers) for c in cells}
     # Serial collapses to one worker; thread/1 is dropped as redundant;
-    # process × churn is dropped (the backend rejects churn by design).
+    # process × churn runs on the elastic engine and stays in the grid.
     assert ("mixed", "serial", 1) in labels
     assert ("mixed", "thread", 2) in labels
     assert ("mixed", "process", 1) in labels and ("mixed", "process", 2) in labels
     assert ("churn", "serial", 1) in labels and ("churn", "thread", 2) in labels
+    assert ("churn", "process", 1) in labels and ("churn", "process", 2) in labels
     assert not any(mode == "thread" and workers < 2 for _, mode, workers in labels)
-    assert not any(
-        workload == "churn" and mode == "process" for workload, mode, _ in labels
-    )
     assert len(cells) == len(set(cells)), "cells must be deduplicated"
     assert cells == sorted(cells), "expansion must be deterministic"
 

@@ -1,9 +1,10 @@
 """Property/differential harness for the elastic gateway.
 
 Randomized (seeded) churn schedules are driven through the fleet controller
-twice — serial (``num_workers=1``) and parallel (``num_workers=4``) — under
-the gas-aware shard planner, and a set of invariants is asserted on every
-schedule:
+three times — serial (``num_workers=1``), thread-parallel (``num_workers=4``)
+and process-parallel (``num_workers=4``, elastic lanes with feed migration) —
+under the gas-aware shard planner, and a set of invariants is asserted on
+every schedule:
 
 * **differential determinism** — the parallel run's
   ``FleetTelemetry.fingerprint()`` is identical to the serial run's (churn
@@ -61,12 +62,13 @@ def build_schedule(seed: int):
     ).generate()
 
 
-def run_schedule(seed: int, num_workers: int):
+def run_schedule(seed: int, num_workers: int, execution_mode: str = "thread"):
     schedule = build_schedule(seed)
     registry = FeedRegistry()
     scheduler = EpochScheduler(
         registry,
         num_workers=num_workers,
+        execution_mode=execution_mode,
         epoch_size=EPOCH_SIZE,
         planner=GasAwareShardPlanner(block_gas_fraction=BLOCK_GAS_FRACTION),
     )
@@ -89,9 +91,13 @@ def run_schedule(seed: int, num_workers: int):
 def test_churn_schedule_invariants(seed):
     schedule, serial_registry, serial_fleet, baseline = run_schedule(seed, num_workers=1)
     _, parallel_registry, parallel_fleet, _ = run_schedule(seed, num_workers=4)
+    _, _, process_fleet, _ = run_schedule(seed, num_workers=4, execution_mode="process")
 
-    # Differential determinism: worker count never changes any output.
+    # Differential determinism: neither worker count nor execution backend
+    # changes any output — including the process backend, whose feeds churn
+    # into, migrate between, and tear down from worker lanes.
     assert parallel_fleet.fingerprint() == serial_fleet.fingerprint()
+    assert process_fleet.fingerprint() == serial_fleet.fingerprint()
 
     # Block feasibility under the gas-aware plan, in both runs.
     for registry in (serial_registry, parallel_registry):
@@ -148,6 +154,22 @@ def test_same_seed_reruns_are_bit_identical():
     first = run_schedule(SEEDS[0], num_workers=4)[2]
     second = run_schedule(SEEDS[0], num_workers=4)[2]
     assert first.fingerprint() == second.fingerprint()
+
+
+def test_process_mode_forces_migration_spawn_and_retirement():
+    """The churn schedules genuinely exercise feed mobility: at least one
+    snapshot-frame migration between lanes, one elastic lane spawn beyond the
+    first, and one lane retirement once the fleet shrinks — all metered on
+    ``FleetTelemetry.ipc`` (never fingerprinted)."""
+    fleet = run_schedule(SEEDS[0], num_workers=4, execution_mode="process")[2]
+    ipc = fleet.ipc
+    assert ipc["migrations_total"] >= 1
+    assert ipc["migration_bytes_total"] > 0
+    assert ipc["migration_bytes_per_epoch"] > 0
+    assert ipc["installs_total"] >= 1
+    assert ipc["install_bytes_total"] > 0
+    assert ipc["lane_spawns_total"] >= 2
+    assert ipc["lane_retirements_total"] >= 1
 
 
 def test_gas_aware_plans_use_multiple_shards():

@@ -339,42 +339,106 @@ class TestProcessModeConstraints:
         with pytest.raises(ConfigurationError):
             EpochScheduler(registry, execution_mode="fiber")
 
-    def test_process_mode_rejects_churn(self):
-        registry, workloads = build_mixed_fleet()
-        scheduler = EpochScheduler(
-            registry, num_shards=4, num_workers=2, execution_mode="process"
-        )
-        scheduler.admit(
-            FeedSpec(feed_id="late", config=GrubConfig(epoch_size=8)),
-            [Operation.read("k")],
-            at_epoch=1,
-        )
-        with pytest.raises(ConfigurationError, match="pins feeds"):
-            scheduler.run(workloads)
-
-    def test_process_mode_rejects_unstable_planner(self):
+    def _run_with_churn(self, execution_mode, num_workers):
         registry, workloads = build_mixed_fleet()
         scheduler = EpochScheduler(
             registry,
-            num_workers=2,
-            execution_mode="process",
-            planner=GasAwareShardPlanner(),
+            num_shards=4,
+            num_workers=num_workers,
+            execution_mode=execution_mode,
         )
-        with pytest.raises(ConfigurationError, match="stable shard plan"):
-            scheduler.run(workloads)
+        scheduler.admit(
+            FeedSpec(feed_id="late", config=GrubConfig(epoch_size=8)),
+            [Operation.read("k")] * 12,
+            at_epoch=1,
+        )
+        scheduler.evict("feed-03", at_epoch=2)
+        return scheduler.run(workloads), registry
 
-    def test_process_mode_rejects_persistent_stores(self, tmp_path):
-        registry = FeedRegistry()
-        spec = FeedSpec(
-            feed_id="lsm-feed",
-            config=GrubConfig(epoch_size=8),
-            store_backend="lsm",
-            store_directory=tmp_path / "lsm-feed",
+    def test_process_mode_runs_churn_bit_identical_to_serial(self):
+        """Historically rejected; now routed to the elastic engine, where the
+        admitted feed installs into a lane and the evicted one tears down."""
+        serial_fleet, serial_registry = self._run_with_churn("serial", 1)
+        process_fleet, process_registry = self._run_with_churn("process", 2)
+        assert process_fleet.fingerprint() == serial_fleet.fingerprint()
+        assert chain_state_fingerprint(process_registry) == chain_state_fingerprint(
+            serial_registry
         )
-        registry.create_feed(spec)
-        scheduler = EpochScheduler(registry, num_workers=2, execution_mode="process")
-        with pytest.raises(ConfigurationError, match="memory-backed"):
-            scheduler.run({"lsm-feed": [Operation.read("k")]})
+        assert process_fleet.ipc["installs_total"] > 0
+
+    def _run_with_gas_aware_planner(self, execution_mode, num_workers):
+        registry, workloads = build_mixed_fleet()
+        scheduler = EpochScheduler(
+            registry,
+            num_workers=num_workers,
+            execution_mode=execution_mode,
+            planner=GasAwareShardPlanner(block_gas_fraction=0.02),
+        )
+        return scheduler.run(workloads), registry
+
+    def test_process_mode_runs_gas_aware_planner_bit_identical_to_serial(self):
+        """Historically rejected (a re-sharding plan moves feeds between
+        lanes); now the moves happen, as snapshot-frame migrations."""
+        serial_fleet, serial_registry = self._run_with_gas_aware_planner("serial", 1)
+        process_fleet, process_registry = self._run_with_gas_aware_planner(
+            "process", 3
+        )
+        assert process_fleet.fingerprint() == serial_fleet.fingerprint()
+        assert chain_state_fingerprint(process_registry) == chain_state_fingerprint(
+            serial_registry
+        )
+
+    def _run_with_persistent_store(self, execution_mode, num_workers, directory):
+        registry = FeedRegistry()
+        preload = [KVRecord.make(f"key-{i:02d}", bytes(32)) for i in range(8)]
+        registry.create_feed(
+            FeedSpec(
+                feed_id="lsm-feed",
+                config=GrubConfig(epoch_size=8, algorithm="memoryless", k=1),
+                preload=preload,
+                store_backend="lsm",
+                store_directory=directory,
+            )
+        )
+        registry.create_feed(
+            FeedSpec(feed_id="mem-feed", config=GrubConfig(epoch_size=8))
+        )
+        workloads = {
+            "lsm-feed": SyntheticWorkload(
+                read_write_ratio=2.0,
+                num_operations=32,
+                num_keys=8,
+                key_prefix="key-",
+                seed=3,
+            ).operations(),
+            "mem-feed": [Operation.read("k")] * 8,
+        }
+        scheduler = EpochScheduler(
+            registry, num_workers=num_workers, execution_mode=execution_mode
+        )
+        return scheduler.run(workloads), registry
+
+    def test_process_mode_runs_persistent_stores_bit_identical_to_serial(self, tmp_path):
+        """Historically rejected (two processes must never open one LSM
+        directory); the single-opener close/reopen handoff makes it legal —
+        and the lane's final store contents land back in the directory."""
+        serial_fleet, serial_registry = self._run_with_persistent_store(
+            "serial", 1, tmp_path / "serial"
+        )
+        process_fleet, process_registry = self._run_with_persistent_store(
+            "process", 2, tmp_path / "process"
+        )
+        assert process_fleet.fingerprint() == serial_fleet.fingerprint()
+        assert chain_state_fingerprint(process_registry) == chain_state_fingerprint(
+            serial_registry
+        )
+        serial_store = serial_registry.get("lsm-feed").system.sp_store
+        process_store = process_registry.get("lsm-feed").system.sp_store
+        assert process_store.root == serial_store.root
+        # The reopened main-side backing holds the lane's final records.
+        backing = process_store.backing
+        for record in process_store.records():
+            assert backing.get(record.prefixed_key) == record.value
 
 
 class TestDeliverCacheWarmUp:
